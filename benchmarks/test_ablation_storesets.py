@@ -1,0 +1,14 @@
+"""Extension -- store-set dependence prediction on top of DMDC.
+
+Expected shape: negligible effect at suite violation rates (validating the
+paper's decision not to model prediction); large true-replay suppression
+on the engineered alias-heavy stress workload.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_storesets(run_once, record_experiment):
+    data, text = run_once(run_experiment, "ablation_storesets")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("ablation_storesets", text)

@@ -1,0 +1,14 @@
+"""Ablation -- checking-table size sweep under global DMDC.
+
+Expected shape: false replays fall as the table grows but saturate around
+the paper's 2K entries, because hash conflicts are not the dominant
+replay cause (the timing approximation is).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_table_size(run_once, record_experiment):
+    data, text = run_once(run_experiment, "ablation_table_size")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("ablation_table_size", text)

@@ -1,0 +1,14 @@
+"""Ablation -- wrong-path load corruption of YLA registers.
+
+Expected shape: filtering effectiveness degrades monotonically with
+wrong-path intensity, more steeply for INT (more mispredictions), showing
+why the paper's reset-on-recovery remedy is needed.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_ablation_wrongpath(run_once, record_experiment):
+    data, text = run_once(run_experiment, "ablation_wrongpath")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("ablation_wrongpath", text)

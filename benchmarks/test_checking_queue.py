@@ -1,0 +1,13 @@
+"""Section 6.2.3 -- hash table vs associative checking queue.
+
+Expected shape: small queues trade hash conflicts for overflow replays;
+a ~16-entry queue roughly matches a 2K-entry table.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_checking_queue(run_once, record_experiment):
+    data, text = run_once(run_experiment, "checking_queue")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("checking_queue", text)

@@ -1,0 +1,14 @@
+"""Figure 2 -- percentage of LQ searches filtered by 1-16 YLA registers,
+quad-word vs cache-line interleaving.
+
+Expected shape: monotonic rise with register count; quad-word beats
+cache-line; FP above INT; ~95-98% filtered at 8 quad-word registers.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig2(run_once, record_experiment):
+    data, text = run_once(run_experiment, "fig2")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("fig2", text)

@@ -1,0 +1,13 @@
+"""Figure 3 -- YLA filtering vs counting Bloom filters (32-1024 entries, H0).
+
+Expected shape: one YLA register rivals even large Bloom filters;
+8 registers dominate everywhere (age beats address).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig3(run_once, record_experiment):
+    data, text = run_once(run_experiment, "fig3")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("fig3", text)

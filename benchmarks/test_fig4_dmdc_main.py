@@ -1,0 +1,14 @@
+"""Figure 4 -- DMDC main results: LQ energy savings, slowdown, and net
+processor-wide savings across config1/2/3.
+
+Expected shape: ~90-95% LQ savings; slowdown well under 1%; net savings
+growing from ~3% (config1) to ~8% (config3).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig4(run_once, record_experiment):
+    data, text = run_once(run_experiment, "fig4")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("fig4", text)

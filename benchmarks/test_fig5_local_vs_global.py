@@ -1,0 +1,13 @@
+"""Figure 5 -- slowdown of global vs local DMDC across configurations.
+
+Expected shape: both variants within ~1% mean slowdown; the local
+variant improves the worst case.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig5(run_once, record_experiment):
+    data, text = run_once(run_experiment, "fig5")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("fig5", text)

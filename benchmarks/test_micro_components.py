@@ -1,0 +1,89 @@
+"""Microbenchmarks of the paper's hardware-structure models.
+
+These time the primitive operations the architectural argument is about:
+a YLA compare (the filter), a checking-table index (DMDC's check), a
+bloom probe (the rival filter), and a conventional LQ CAM search (what
+they all replace).  They also document simulator throughput.
+"""
+
+import pytest
+
+from repro.backend.dyninst import DynInstr
+from repro.core.bloom import CountingBloomFilter
+from repro.core.checking_table import CheckingTable
+from repro.core.yla import YlaFile
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import InstrClass
+from repro.lsq.queues import LoadQueue
+from repro.sim.config import small_config
+from repro.sim.processor import Processor
+from repro.workloads import get_workload
+
+ADDRS = [0x1000_0000 + 8 * i for i in range(256)]
+
+
+def test_yla_store_check(benchmark):
+    yla = YlaFile(8)
+    for i, addr in enumerate(ADDRS):
+        yla.observe_load_issue(addr, i)
+
+    def probe():
+        for i, addr in enumerate(ADDRS):
+            yla.store_is_safe(addr, i)
+
+    benchmark(probe)
+
+
+def test_checking_table_load_check(benchmark):
+    table = CheckingTable(2048)
+    for addr in ADDRS[::4]:
+        table.mark_store(addr, 8)
+
+    def probe():
+        for addr in ADDRS:
+            table.check_load(addr, 8)
+
+    benchmark(probe)
+
+
+def test_bloom_probe(benchmark):
+    bloom = CountingBloomFilter(1024)
+    for addr in ADDRS[::2]:
+        bloom.insert(addr)
+
+    def probe():
+        for addr in ADDRS:
+            bloom.may_contain(addr)
+
+    benchmark(probe)
+
+
+def test_lq_associative_search(benchmark):
+    lq = LoadQueue(96)
+    for i, addr in enumerate(ADDRS[:90]):
+        uop = MicroOp(0x100, InstrClass.LOAD, mem_addr=addr, mem_size=8, dst=1)
+        load = DynInstr(uop, i, i, False)
+        load.issue_cycle = 1
+        lq.allocate(load)
+    store_uop = MicroOp(0x200, InstrClass.STORE, mem_addr=ADDRS[45], mem_size=8)
+    store = DynInstr(store_uop, 3, 3, False)
+
+    def probe():
+        for _ in range(64):
+            lq.search_younger_issued(store)
+
+    benchmark(probe)
+
+
+@pytest.mark.parametrize("scheme", ["conventional", "dmdc"])
+def test_simulator_throughput(benchmark, scheme):
+    """End-to-end simulated instructions per wall-clock benchmark round."""
+    from repro.sim.config import SchemeConfig
+
+    trace = get_workload("gzip").generate(4000)
+    config = small_config().with_scheme(SchemeConfig(kind=scheme))
+
+    def simulate():
+        Processor(config, trace).run(3000)
+
+    benchmark.pedantic(simulate, rounds=3, iterations=1, warmup_rounds=0)

@@ -1,0 +1,14 @@
+"""Section 7 -- DMDC vs the related-work design space.
+
+Expected shape: DMDC's LQ-functionality energy is the lowest; Garg's
+age-hash table sits in between (unfiltered wide-entry traffic); naive
+value-based checking trades the LQ for a cache re-access per load.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_related_work(run_once, record_experiment):
+    data, text = run_once(run_experiment, "related_work")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("related_work", text)

@@ -1,0 +1,13 @@
+"""Section 6.2.2 -- safe-load fraction and its effect on false replays.
+
+Expected shape: a large safe-load majority; disabling the optimisation
+multiplies false replays.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_safe_loads(run_once, record_experiment):
+    data, text = run_once(run_experiment, "safe_loads")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("safe_loads", text)

@@ -1,0 +1,13 @@
+"""Section 3 -- SQ-search filtering by an oldest-store-age register.
+
+Expected shape: a measurable fraction of loads skip the SQ search (the
+paper reports ~20%; this model sees less because its SQ rarely empties).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_sq_filter(run_once, record_experiment):
+    data, text = run_once(run_experiment, "sq_filter")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("sq_filter", text)

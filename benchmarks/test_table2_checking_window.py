@@ -1,0 +1,13 @@
+"""Table 2 -- checking-window statistics under global DMDC (config2).
+
+Expected shape: windows of tens of instructions, roughly a quarter of
+which are loads; INT spends more cycles in checking mode than FP.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2(run_once, record_experiment):
+    data, text = run_once(run_experiment, "table2")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("table2", text)

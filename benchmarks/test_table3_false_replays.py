@@ -1,0 +1,13 @@
+"""Table 3 -- false-replay taxonomy under global DMDC (config2).
+
+Expected shape: address-match (timing-approximation) replays dominate;
+hash conflicts are the minority; INT rates exceed FP.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table3(run_once, record_experiment):
+    data, text = run_once(run_experiment, "table3")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("table3", text)

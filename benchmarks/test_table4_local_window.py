@@ -1,0 +1,12 @@
+"""Table 4 -- checking-window statistics under local DMDC (config2).
+
+Expected shape: windows noticeably shorter than Table 2 (global).
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table4(run_once, record_experiment):
+    data, text = run_once(run_experiment, "table4")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("table4", text)

@@ -1,0 +1,13 @@
+"""Table 5 -- false-replay taxonomy under local DMDC (config2).
+
+Expected shape: fewer replays than Table 3, mostly out of the
+merged-window (Y) categories.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table5(run_once, record_experiment):
+    data, text = run_once(run_experiment, "table5")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("table5", text)

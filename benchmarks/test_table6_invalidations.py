@@ -1,0 +1,14 @@
+"""Table 6 -- coherent DMDC under injected invalidations
+(0/1/10/100 per 1000 cycles).
+
+Expected shape: graceful degradation up to 10/1000 cycles; visible
+stress at 100 but slowdown still near 1%.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table6(run_once, record_experiment):
+    data, text = run_once(run_experiment, "table6")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("table6", text)

@@ -1,0 +1,12 @@
+"""Section 6.1 -- LQ and processor-wide energy effect of YLA filtering alone.
+
+Expected shape: ~32% LQ energy savings, ~1-2% processor-wide, no slowdown.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_yla_energy(run_once, record_experiment):
+    data, text = run_once(run_experiment, "yla_energy")
+    assert data["rows"], "experiment produced no rows"
+    record_experiment("yla_energy", text)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Build a custom workload and analyse a scheme sweep over it.
+
+Shows the full user-facing loop: define a :class:`WorkloadSpec`, sweep a
+parameter (here: how often store addresses depend on loads — "pointer
+intensity"), run several schemes, and use :mod:`repro.analysis` to
+compare them.  The output demonstrates the paper's central sensitivity:
+the later store addresses resolve, the more the conventional LQ gets
+searched — and the more DMDC's filtering matters.
+"""
+
+import sys
+
+from repro import CONFIG2, SchemeConfig
+from repro.analysis import compare_results, per_workload_table, speedup_summary
+from repro.sim.runner import run_workload
+from repro.stats.report import format_table
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+
+def sweep_pointer_intensity(budget: int):
+    """One workload per pointer-intensity level, run under two schemes."""
+    levels = (0.0, 0.05, 0.15, 0.30)
+    base_results, dmdc_results = {}, {}
+    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+    for level in levels:
+        spec = WorkloadSpec(
+            name=f"ptr-{int(100 * level):02d}",
+            group="INT",
+            store_addr_dep_load=level,
+            pattern_weights={"stream": 0.2, "strided": 0.1, "random": 0.4,
+                             "chase": 0.3},
+            seed=101,
+        )
+        workload = SyntheticWorkload(spec)
+        base_results[spec.name] = run_workload(CONFIG2, workload,
+                                               max_instructions=budget)
+        dmdc_results[spec.name] = run_workload(dmdc_cfg, workload,
+                                               max_instructions=budget)
+    return base_results, dmdc_results
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    base, dmdc = sweep_pointer_intensity(budget)
+
+    print(per_workload_table(
+        dmdc,
+        title="DMDC under rising pointer intensity (store addresses from loads)",
+    ))
+    print()
+
+    rows = []
+    for name in sorted(base):
+        b, d = base[name], dmdc[name]
+        rows.append([
+            name,
+            b.counters["lq.searches_assoc"],
+            f"{d.safe_store_fraction:.1%}",
+            f"{d.checking_cycle_fraction:.1%}",
+            f"{d.false_replays_per_minstr:.0f}",
+        ])
+    print(format_table(
+        ["workload", "baseline LQ searches", "DMDC stores safe",
+         "checking cycles", "false replays/Minstr"],
+        rows,
+        title="Pointer intensity drives everything the paper measures",
+    ))
+    print()
+    speedups = speedup_summary(base, dmdc)
+    for group, s in speedups.items():
+        print(f"geomean DMDC speedup vs baseline ({group}): {s:.3f}x")
+    worst = min(compare_results(base, dmdc, lambda r: float(r.cycles)),
+                key=lambda c: c.baseline / max(c.candidate, 1))
+    print(f"largest slowdown: {worst.workload} ({worst.delta_pct:+.2f}% cycles)")
+
+
+if __name__ == "__main__":
+    main()

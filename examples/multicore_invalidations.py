@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Coherent DMDC under external invalidation traffic (paper Section 6.2.4).
+
+In a multiprocessor, external invalidations must enforce write
+serialization.  Coherent DMDC extends the checking table with INV bits and
+adds a cache-line-interleaved YLA set to bound invalidation windows.  This
+example injects random invalidations at increasing rates and reports how
+the design degrades — gracefully up to ~1 invalidation per 10 cycles, as
+the paper found.
+"""
+
+import sys
+
+from repro import CONFIG2, SchemeConfig, get_workload
+from repro.sim.runner import run_workload
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    workload_name = sys.argv[2] if len(sys.argv) > 2 else "gzip"
+    workload = get_workload(workload_name)
+    coherent = SchemeConfig(kind="dmdc", coherence=True)
+
+    baseline = run_workload(CONFIG2, workload, max_instructions=budget)
+    rows = []
+    for rate in (0.0, 1.0, 10.0, 100.0):
+        cfg = CONFIG2.with_scheme(coherent).with_overrides(invalidation_rate=rate)
+        r = run_workload(cfg, workload, max_instructions=budget)
+        rows.append([
+            f"{rate:g}",
+            r.counters["inv.injected"],
+            r.counters["inv.filtered"],
+            r.counters["inv.promotions"],
+            f"{r.checking_cycle_fraction:.1%}",
+            f"{r.false_replays_per_minstr:.0f}",
+            f"{r.cycles / baseline.cycles - 1:+.2%}",
+        ])
+    print(format_table(
+        ["inv/1000cyc", "injected", "filtered by line-YLA", "INV promotions",
+         "checking cycles", "false replays/Minstr", "slowdown vs baseline"],
+        rows,
+        title=f"Coherent DMDC under invalidation storms ({workload_name})",
+    ))
+    print("\n'filtered' invalidations hit lines with no in-flight loads and")
+    print("cost nothing — the line-interleaved YLA set proves it instantly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Stress scenario: a pointer-chasing, alias-heavy workload (mcf-like).
+
+Pointer codes are the worst case for age-based filtering: store addresses
+resolve late (they come from loads), so more stores are unsafe, checking
+windows are longer, and more false replays occur.  This example builds a
+custom :class:`WorkloadSpec` far nastier than anything in SPEC and shows
+how each scheme copes.
+"""
+
+import sys
+
+from repro import CONFIG2, SchemeConfig
+from repro.sim.runner import run_workload
+from repro.stats.report import format_table
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+
+def make_stress_workload() -> SyntheticWorkload:
+    """An adversarial pointer chaser with frequent genuine aliasing."""
+    spec = WorkloadSpec(
+        name="chase-stress",
+        group="INT",
+        load_fraction=0.32,
+        store_fraction=0.14,
+        working_set_kb=4096,
+        hot_fraction=0.6,
+        pattern_weights={"stream": 0.05, "strided": 0.05, "random": 0.4, "chase": 0.5},
+        store_addr_dep_load=0.35,      # pointer stores everywhere
+        store_addr_dep_alu=0.4,
+        conflict_per_kinstr=2.0,       # real violations well above SPEC rates
+        rmw_fraction=0.2,
+        branch_bias=0.85,
+        seed=97,
+    )
+    return SyntheticWorkload(spec)
+
+
+def main() -> None:
+    budget = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    workload = make_stress_workload()
+    schemes = {
+        "conventional": SchemeConfig(kind="conventional"),
+        "yla-8": SchemeConfig(kind="yla", yla_registers=8),
+        "dmdc-global": SchemeConfig(kind="dmdc"),
+        "dmdc-local": SchemeConfig(kind="dmdc", local=True),
+    }
+    rows = []
+    base_cycles = None
+    for name, scheme in schemes.items():
+        result = run_workload(CONFIG2.with_scheme(scheme), workload,
+                              max_instructions=budget)
+        if base_cycles is None:
+            base_cycles = result.cycles
+        rows.append([
+            name,
+            f"{result.ipc:.2f}",
+            f"{result.cycles / base_cycles - 1:+.2%}",
+            result.counters["groundtruth.violations"],
+            result.counters["replays"],
+            f"{result.safe_store_fraction:.1%}",
+            f"{result.checking_cycle_fraction:.1%}",
+            f"{result.mean_window_instrs:.0f}" if result.window_instrs.count else "-",
+        ])
+    print(format_table(
+        ["scheme", "IPC", "slowdown", "true violations", "replays",
+         "stores safe", "checking cycles", "window size"],
+        rows,
+        title=f"Pointer-chasing stress test ({budget} instructions)",
+    ))
+    print("\nEven here every scheme catches every true violation; DMDC pays")
+    print("with a few extra (false) replays and longer checking windows.")
+
+
+if __name__ == "__main__":
+    main()

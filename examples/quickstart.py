@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: conventional LQ vs DMDC on one workload.
+
+Runs the same synthetic benchmark under the paper's baseline (associative
+load queue) and under DMDC on machine config2, then prints performance,
+filtering, and energy side by side — the paper's headline claim in one
+screen.
+
+Usage::
+
+    python examples/quickstart.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import CONFIG2, SchemeConfig, get_workload, run_workload
+from repro.energy.model import EnergyModel
+from repro.stats.report import format_table
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+    workload = get_workload(workload_name)
+
+    print(f"Running {workload_name} ({workload.group}) for {budget} instructions "
+          f"on {CONFIG2.name} ...")
+    baseline = run_workload(CONFIG2, workload, max_instructions=budget)
+    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+    dmdc = run_workload(dmdc_cfg, workload, max_instructions=budget)
+
+    model = EnergyModel(CONFIG2)
+    e_base = model.evaluate(baseline)
+    e_dmdc = model.evaluate(dmdc)
+
+    rows = [
+        ["IPC", f"{baseline.ipc:.2f}", f"{dmdc.ipc:.2f}"],
+        ["cycles", baseline.cycles, dmdc.cycles],
+        ["LQ associative searches", baseline.counters["lq.searches_assoc"],
+         dmdc.counters["lq.searches_assoc"]],
+        ["stores classified safe", "-", f"{dmdc.safe_store_fraction:.1%}"],
+        ["safe loads", f"{baseline.safe_load_fraction:.1%}", f"{dmdc.safe_load_fraction:.1%}"],
+        ["replays", baseline.counters["replays"], dmdc.counters["replays"]],
+        ["cycles in checking mode", "-", f"{dmdc.checking_cycle_fraction:.1%}"],
+        ["LQ energy (abstract units)", f"{e_base.lq:.0f}", f"{e_dmdc.lq:.0f}"],
+        ["total core energy", f"{e_base.total:.0f}", f"{e_dmdc.total:.0f}"],
+    ]
+    print(format_table(["metric", "conventional", "DMDC"], rows))
+    print()
+    print(f"LQ energy savings:        {1 - e_dmdc.lq / e_base.lq:.1%}")
+    print(f"Processor-wide savings:   {1 - e_dmdc.total / e_base.total:.1%}")
+    print(f"Slowdown:                 {dmdc.cycles / baseline.cycles - 1:+.2%}")
+
+
+if __name__ == "__main__":
+    main()

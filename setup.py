@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (offline PEP 660 builds fail there). Metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of *DMDC: Delayed Memory Dependence Checking
+through Age-Based Filtering* (Castro et al., MICRO 2006).
+
+Quick start::
+
+    from repro import CONFIG2, SchemeConfig, get_workload, run_workload
+
+    baseline = run_workload(CONFIG2, get_workload("gzip"), max_instructions=10_000)
+    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+    dmdc = run_workload(dmdc_cfg, get_workload("gzip"), max_instructions=10_000)
+    print(baseline.ipc, dmdc.ipc, dmdc.safe_store_fraction)
+
+The package layers:
+
+* :mod:`repro.core` — YLA registers, checking table, bloom filter, and the
+  pluggable dependence-checking schemes (the paper's contribution);
+* :mod:`repro.sim` — the cycle-level out-of-order pipeline substrate;
+* :mod:`repro.workloads` — 26 synthetic SPEC CPU2000 stand-ins;
+* :mod:`repro.energy` — Wattch-style energy accounting;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import (
+    CheckingTable,
+    CountingBloomFilter,
+    DmdcScheme,
+    YlaFile,
+    build_scheme,
+)
+from repro.sim import (
+    CONFIG1,
+    CONFIG2,
+    CONFIG3,
+    CONFIGS,
+    MachineConfig,
+    Processor,
+    SchemeConfig,
+    SimulationResult,
+    run_trace,
+    run_workload,
+    small_config,
+)
+from repro.workloads import (
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    SUITE,
+    SyntheticWorkload,
+    WorkloadSpec,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckingTable",
+    "CountingBloomFilter",
+    "DmdcScheme",
+    "YlaFile",
+    "build_scheme",
+    "CONFIG1",
+    "CONFIG2",
+    "CONFIG3",
+    "CONFIGS",
+    "MachineConfig",
+    "Processor",
+    "SchemeConfig",
+    "SimulationResult",
+    "run_trace",
+    "run_workload",
+    "small_config",
+    "FP_WORKLOADS",
+    "INT_WORKLOADS",
+    "SUITE",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Out-of-order back-end structures: dynamic instructions, ROB, FUs."""
+
+from repro.backend.dyninst import DynInstr, InstrState
+from repro.backend.resources import FunctionalUnits, PhysRegFile
+
+__all__ = ["DynInstr", "InstrState", "FunctionalUnits", "PhysRegFile"]

@@ -1,0 +1,130 @@
+"""Dynamic (in-flight) instruction state.
+
+A :class:`DynInstr` is one fetched instance of a trace micro-op.  The same
+micro-op can be in flight multiple times across replays; each instance gets
+a fresh, strictly increasing ``seq`` — the *age* that every mechanism in the
+paper compares (YLA registers, end-check register, squash points).
+"""
+
+import enum
+from typing import List, Optional
+
+from repro.isa.instruction import MicroOp
+
+
+class InstrState(enum.IntEnum):
+    DISPATCHED = 0   # in ROB/IQ, waiting for operands
+    READY = 1        # operands available, waiting for issue bandwidth
+    ISSUED = 2       # executing / waiting on memory
+    COMPLETED = 3    # result produced, waiting for in-order commit
+    COMMITTED = 4
+    SQUASHED = 5
+
+
+class DynInstr:
+    """One in-flight instance of a micro-op, with full pipeline bookkeeping."""
+
+    __slots__ = (
+        "uop",
+        "trace_idx",
+        "seq",
+        "state",
+        "fp_side",
+        # dependence tracking
+        "pending_ops",
+        "pending_data",
+        "consumers",
+        # timing
+        "fetch_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "resolve_cycle",
+        "commit_cycle",
+        # memory behaviour
+        "speculative_issue",
+        "safe",
+        "forward_store_seq",
+        "rejections",
+        "true_violation_store",
+        "true_violation_pc",
+        "replay_generation",
+        "guard_bypass",
+        "hash_key",
+        "inv_marked",
+        # DMDC store state
+        "unsafe_store",
+        "window_end",
+        # branch state
+        "pred_snapshot",
+        "mispredicted",
+        # bookkeeping
+        "in_iq",
+    )
+
+    def __init__(self, uop: MicroOp, trace_idx: int, seq: int, fp_side: bool):
+        self.uop = uop
+        self.trace_idx = trace_idx
+        self.seq = seq
+        self.state = InstrState.DISPATCHED
+        self.fp_side = fp_side
+        self.pending_ops = 0
+        self.pending_data = 0
+        self.consumers: List = []
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.resolve_cycle = -1
+        self.commit_cycle = -1
+        self.speculative_issue = False
+        self.safe = False
+        self.forward_store_seq = -1
+        self.rejections = 0
+        self.true_violation_store = -1
+        self.true_violation_pc = -1
+        self.replay_generation = 0
+        self.guard_bypass = False
+        self.hash_key = -1
+        self.inv_marked = False
+        self.unsafe_store = False
+        self.window_end = -1
+        self.pred_snapshot: Optional[dict] = None
+        self.mispredicted = False
+        self.in_iq = False
+
+    # Convenience passthroughs -------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.uop.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.uop.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.uop.is_branch
+
+    @property
+    def addr(self) -> int:
+        return self.uop.mem_addr
+
+    @property
+    def size(self) -> int:
+        return self.uop.mem_size
+
+    @property
+    def resolved(self) -> bool:
+        """A memory op's address is resolved once it has issued through the AGU."""
+        return self.resolve_cycle >= 0
+
+    @property
+    def squashed(self) -> bool:
+        return self.state == InstrState.SQUASHED
+
+    def __repr__(self) -> str:
+        return (
+            f"<DynInstr seq={self.seq} {self.uop.cls.name} state={self.state.name}"
+            f" pc={self.uop.pc:#x}>"
+        )

@@ -1,0 +1,97 @@
+"""Per-cycle execution resources: functional units and physical registers."""
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.opcodes import InstrClass
+
+
+class FunctionalUnits:
+    """Per-cycle functional-unit bandwidth with per-class latencies.
+
+    Table 1 of the paper: 8 integer ALUs + 2 integer mul/div, 8 FP ALUs +
+    2 FP mul/div.  Loads, stores and branches consume an integer-ALU slot
+    (address generation / condition evaluation); loads additionally consume
+    a D-cache port, which the pipeline accounts for separately.
+    """
+
+    #: Execution latencies per class (cycles), SimpleScalar defaults.
+    LATENCY = {
+        InstrClass.IALU: 1,
+        InstrClass.IMUL: 3,
+        InstrClass.IDIV: 20,
+        InstrClass.FALU: 2,
+        InstrClass.FMUL: 4,
+        InstrClass.FDIV: 12,
+        InstrClass.LOAD: 1,    # AGU; cache latency added by the pipeline
+        InstrClass.STORE: 1,   # AGU
+        InstrClass.BRANCH: 1,
+        InstrClass.NOP: 1,
+    }
+
+    def __init__(self, int_alu: int = 8, int_muldiv: int = 2, fp_alu: int = 8, fp_muldiv: int = 2):
+        if min(int_alu, int_muldiv, fp_alu, fp_muldiv) <= 0:
+            raise ConfigError("functional unit counts must be positive")
+        self._caps = {
+            "int_alu": int_alu,
+            "int_muldiv": int_muldiv,
+            "fp_alu": fp_alu,
+            "fp_muldiv": fp_muldiv,
+        }
+        self._avail = dict(self._caps)
+
+    _POOL = {
+        InstrClass.IALU: "int_alu",
+        InstrClass.IMUL: "int_muldiv",
+        InstrClass.IDIV: "int_muldiv",
+        InstrClass.FALU: "fp_alu",
+        InstrClass.FMUL: "fp_muldiv",
+        InstrClass.FDIV: "fp_muldiv",
+        InstrClass.LOAD: "int_alu",
+        InstrClass.STORE: "int_alu",
+        InstrClass.BRANCH: "int_alu",
+        InstrClass.NOP: "int_alu",
+    }
+
+    def new_cycle(self) -> None:
+        """Restore full bandwidth at the start of each cycle."""
+        self._avail.update(self._caps)
+
+    def try_acquire(self, cls: InstrClass) -> bool:
+        """Claim a unit of the right pool for this cycle, if available."""
+        pool = self._POOL[cls]
+        if self._avail[pool] > 0:
+            self._avail[pool] -= 1
+            return True
+        return False
+
+    def latency(self, cls: InstrClass) -> int:
+        return self.LATENCY[cls]
+
+
+class PhysRegFile:
+    """Free-list accounting for one side's physical register file.
+
+    Only occupancy is modelled: dispatch blocks when no physical register
+    is free, and registers return to the pool at commit or squash.  The 32
+    architectural registers of the side are permanently mapped.
+    """
+
+    def __init__(self, total: int, architectural: int = 32):
+        if total <= architectural:
+            raise ConfigError(
+                f"physical registers ({total}) must exceed architectural ({architectural})"
+            )
+        self.total = total
+        self.free = total - architectural
+        self.allocations = 0
+
+    def try_allocate(self) -> bool:
+        if self.free > 0:
+            self.free -= 1
+            self.allocations += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        self.free += 1
+        if self.free > self.total - 32:
+            raise SimulationError("physical register free-list overflow (double release)")

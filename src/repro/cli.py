@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``workloads``
+    List the 26 synthetic SPEC CPU2000 stand-ins and their key parameters.
+``configs``
+    Show the paper's three machine configurations (Table 1).
+``run``
+    Simulate one workload under one scheme/config; print the summary (and
+    optionally the full counter dump as JSON).
+``compare``
+    Run baseline and DMDC side by side with the energy verdict.
+``experiment``
+    Regenerate one table/figure of the paper by id (see ``--list``).
+``trace``
+    Generate, save, load, and inspect binary traces.
+``timeline``
+    Render an ASCII pipeline timeline of the first N instructions.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.energy.model import EnergyModel
+from repro.isa.serialize import load_trace_file, save_trace_file
+from repro.sim.config import CONFIG1, CONFIG2, CONFIG3, SchemeConfig
+from repro.sim.pipetrace import PipelineTracer
+from repro.sim.processor import Processor
+from repro.sim.runner import run_trace, run_workload
+from repro.stats.report import format_table
+from repro.workloads import SUITE, get_workload
+
+CONFIGS = {"config1": CONFIG1, "config2": CONFIG2, "config3": CONFIG3}
+
+
+def _scheme_from_args(args) -> SchemeConfig:
+    return SchemeConfig(
+        kind=args.scheme,
+        yla_registers=args.yla_registers,
+        local=args.local,
+        coherence=args.coherence,
+        safe_loads=not args.no_safe_loads,
+        checking_queue_entries=args.checking_queue,
+        bloom_entries=args.bloom_entries,
+        store_sets=args.store_sets,
+    )
+
+
+def _add_scheme_args(parser) -> None:
+    parser.add_argument("--scheme", default="conventional",
+                        choices=["conventional", "yla", "bloom", "dmdc", "garg", "value"])
+    parser.add_argument("--yla-registers", type=int, default=8)
+    parser.add_argument("--bloom-entries", type=int, default=1024)
+    parser.add_argument("--local", action="store_true",
+                        help="local DMDC windows (Section 4.4)")
+    parser.add_argument("--coherence", action="store_true",
+                        help="enable coherent DMDC / coherent baseline")
+    parser.add_argument("--no-safe-loads", action="store_true",
+                        help="disable safe-load detection (ablation)")
+    parser.add_argument("--checking-queue", type=int, default=None,
+                        metavar="N", help="use an N-entry checking queue")
+    parser.add_argument("--store-sets", action="store_true",
+                        help="enable store-set dependence prediction")
+    parser.add_argument("--config", default="config2", choices=sorted(CONFIGS))
+    parser.add_argument("--instructions", "-n", type=int, default=12_000)
+    parser.add_argument("--invalidation-rate", type=float, default=0.0,
+                        metavar="R", help="invalidations per 1000 cycles")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def cmd_workloads(args) -> int:
+    rows = []
+    for name, workload in SUITE.items():
+        spec = workload.spec
+        rows.append([
+            name, spec.group, f"{spec.working_set_kb} KB",
+            f"{spec.load_fraction:.0%}/{spec.store_fraction:.0%}",
+            f"{spec.branch_fraction:.0%}",
+            f"{spec.store_addr_dep_load:.1%}",
+        ])
+    print(format_table(
+        ["workload", "group", "working set", "ld/st", "branches", "pointer stores"],
+        rows, title="Synthetic SPEC CPU2000 stand-in suite"))
+    return 0
+
+
+def cmd_configs(args) -> int:
+    rows = []
+    for name, cfg in CONFIGS.items():
+        rows.append([
+            name, cfg.rob_size, f"{cfg.iq_int}/{cfg.iq_fp}",
+            f"{cfg.lq_size}/{cfg.sq_size}",
+            f"{cfg.regs_int}/{cfg.regs_fp}", cfg.checking_table,
+        ])
+    print(format_table(
+        ["config", "ROB", "IQ int/fp", "LQ/SQ", "regs int/fp", "checking table"],
+        rows, title="Machine configurations (paper Table 1)"))
+    return 0
+
+
+def _configured(args):
+    config = CONFIGS[args.config].with_scheme(_scheme_from_args(args))
+    if args.invalidation_rate:
+        config = config.with_overrides(invalidation_rate=args.invalidation_rate)
+    return config
+
+
+def cmd_run(args) -> int:
+    config = _configured(args)
+    result = run_workload(config, get_workload(args.workload),
+                          max_instructions=args.instructions, seed=args.seed)
+    if args.json:
+        payload = {
+            "workload": result.workload,
+            "config": result.config_name,
+            "scheme": result.scheme_name,
+            "summary": result.summary(),
+            "counters": result.counters.as_dict(),
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(f"{result.workload} on {result.config_name} under {result.scheme_name}:")
+    for key, value in result.summary().items():
+        print(f"  {key:26s} {value:.4g}" if isinstance(value, float)
+              else f"  {key:26s} {value}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    config = CONFIGS[args.config]
+    workload = get_workload(args.workload)
+    base = run_workload(config, workload, max_instructions=args.instructions)
+    dmdc_cfg = config.with_scheme(SchemeConfig(kind="dmdc", local=args.local))
+    dmdc = run_workload(dmdc_cfg, workload, max_instructions=args.instructions)
+    model = EnergyModel(config)
+    e_base, e_dmdc = model.evaluate(base), model.evaluate(dmdc)
+    rows = [
+        ["IPC", f"{base.ipc:.3f}", f"{dmdc.ipc:.3f}"],
+        ["LQ searches", base.counters["lq.searches_assoc"],
+         dmdc.counters["lq.searches_assoc"]],
+        ["replays", base.counters["replays"], dmdc.counters["replays"]],
+        ["LQ energy", f"{e_base.lq:.0f}", f"{e_dmdc.lq:.0f}"],
+        ["total energy", f"{e_base.total:.0f}", f"{e_dmdc.total:.0f}"],
+    ]
+    print(format_table(["metric", "baseline", dmdc.scheme_name], rows))
+    print(f"LQ savings {1 - e_dmdc.lq / e_base.lq:.1%}, "
+          f"net {1 - e_dmdc.total / e_base.total:.1%}, "
+          f"slowdown {dmdc.cycles / base.cycles - 1:+.2%}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+    if args.list or not args.id:
+        for exp in EXPERIMENTS.values():
+            print(f"  {exp.id:16s} {exp.paper_artifact}")
+        return 0
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; use --list", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.budget:
+        kwargs["budget"] = args.budget
+    _, text = run_experiment(args.id, **kwargs)
+    print(text)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.inspect:
+        trace = load_trace_file(args.inspect)
+        print(f"{trace.name}: {len(trace)} micro-ops, group {trace.group}")
+        for cls, frac in trace.mix().items():
+            print(f"  {cls:8s} {frac:.1%}")
+        return 0
+    trace = get_workload(args.workload).generate(args.instructions)
+    n = save_trace_file(trace, args.out)
+    print(f"wrote {len(trace)} micro-ops ({n} bytes) to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.reporting import write_report
+    text = write_report(args.results, args.out)
+    if not args.out:
+        print(text)
+    else:
+        print(f"wrote report to {args.out}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    config = _configured(args)
+    trace = get_workload(args.workload).generate(args.instructions + 2000)
+    proc = Processor(config, trace, seed=args.seed)
+    proc.tracer = PipelineTracer(capacity=args.rows * 4)
+    proc.prewarm()
+    proc.run(args.instructions)
+    print(proc.tracer.render_timeline(max_rows=args.rows, max_width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DMDC (MICRO 2006) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the synthetic suite")
+    sub.add_parser("configs", help="show Table 1 machine configurations")
+
+    p = sub.add_parser("run", help="simulate one workload")
+    p.add_argument("workload")
+    _add_scheme_args(p)
+    p.add_argument("--json", action="store_true", help="dump counters as JSON")
+
+    p = sub.add_parser("compare", help="baseline vs DMDC on one workload")
+    p.add_argument("workload")
+    p.add_argument("--config", default="config2", choices=sorted(CONFIGS))
+    p.add_argument("--instructions", "-n", type=int, default=12_000)
+    p.add_argument("--local", action="store_true")
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", nargs="?")
+    p.add_argument("--list", action="store_true")
+    p.add_argument("--budget", type=int, default=None)
+
+    p = sub.add_parser("trace", help="generate or inspect binary traces")
+    p.add_argument("--workload", default="gzip")
+    p.add_argument("--instructions", "-n", type=int, default=10_000)
+    p.add_argument("--out", default="trace.dmdc")
+    p.add_argument("--inspect", metavar="FILE")
+
+    p = sub.add_parser("report", help="assemble benchmark results into markdown")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--out", default=None)
+
+    p = sub.add_parser("timeline", help="render an ASCII pipeline timeline")
+    p.add_argument("workload")
+    _add_scheme_args(p)
+    p.add_argument("--rows", type=int, default=32)
+    p.add_argument("--width", type=int, default=100)
+
+    return parser
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "configs": cmd_configs,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "experiment": cmd_experiment,
+    "trace": cmd_trace,
+    "report": cmd_report,
+    "timeline": cmd_timeline,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

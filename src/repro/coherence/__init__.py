@@ -1,0 +1,5 @@
+"""External coherence traffic modelling."""
+
+from repro.coherence.injector import InvalidationInjector
+
+__all__ = ["InvalidationInjector"]

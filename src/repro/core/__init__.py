@@ -1,0 +1,40 @@
+"""The paper's contribution: YLA-based filtering and DMDC.
+
+Public surface:
+
+* :class:`~repro.core.yla.YlaFile` — the Youngest-issued-Load-Age register
+  file (Section 3), with configurable register count and address
+  interleaving granularity.
+* :class:`~repro.core.bloom.CountingBloomFilter` — the Sethumadhavan-style
+  address-only filter the paper compares against (Figure 3).
+* :class:`~repro.core.checking_table.CheckingTable` — DMDC's hash table with
+  per-quad-word entries, 4-bit width bitmaps and WRT/INV bits (Section 4).
+* :mod:`repro.core.schemes` — pluggable dependence-checking schemes:
+  conventional associative LQ, YLA-filtered, bloom-filtered, and DMDC
+  (global/local, hash-table or associative checking queue, with optional
+  coherence support).
+"""
+
+from repro.core.yla import YlaFile
+from repro.core.bloom import CountingBloomFilter
+from repro.core.checking_table import CheckingTable
+from repro.core.schemes import (
+    CheckScheme,
+    ConventionalScheme,
+    YlaFilteredScheme,
+    BloomFilteredScheme,
+    DmdcScheme,
+    build_scheme,
+)
+
+__all__ = [
+    "YlaFile",
+    "CountingBloomFilter",
+    "CheckingTable",
+    "CheckScheme",
+    "ConventionalScheme",
+    "YlaFilteredScheme",
+    "BloomFilteredScheme",
+    "DmdcScheme",
+    "build_scheme",
+]

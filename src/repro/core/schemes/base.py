@@ -1,0 +1,103 @@
+"""Interface between the pipeline and a dependence-checking scheme.
+
+The pipeline owns the machinery every design shares (speculative load
+issue, SQ forwarding/rejection, squash, commit order); a scheme only
+decides *how premature loads are detected*.  The hooks mirror the
+micro-architectural events of the paper:
+
+=====================  ====================================================
+hook                   corresponds to
+=====================  ====================================================
+``on_load_issue``      load executes: YLA update / BF insert / hash-key
+                       record; conventional coherence load-load check
+``on_store_resolve``   store address resolves: conventional LQ search, or
+                       filtering, or DMDC safe/unsafe classification
+``on_commit``          in-order retirement: DMDC marking, checking mode,
+                       window termination
+``on_recovery``        branch misprediction recovery (YLA reset remedy)
+``on_squash``          replay squash (same repair plus BF bookkeeping)
+``on_invalidation``    external coherence invalidation
+=====================  ====================================================
+
+``on_store_resolve``/``on_load_issue`` may return a load to replay *now*
+(execution-time detection); ``on_commit`` may decide the committing load
+itself must replay (DMDC's commit-time detection).
+"""
+
+import enum
+from typing import List, Optional
+
+from repro.backend.dyninst import DynInstr
+from repro.stats.counters import CounterSet, Histogram
+
+
+class CommitDecision(enum.Enum):
+    """What ``on_commit`` wants the pipeline to do with a committing load."""
+
+    OK = "ok"
+    REPLAY = "replay"
+
+
+class CheckScheme:
+    """Base scheme: shared stats plumbing and no-op hooks."""
+
+    #: Whether the LQ must be a fully associative CAM (energy model input).
+    uses_associative_lq = True
+    #: Whether the pipeline must re-execute every load at commit (the
+    #: value-based scheme's bandwidth cost).
+    reexecutes_loads = False
+    name = "base"
+
+    def __init__(self):
+        self.stats = CounterSet()
+        self.window_instrs = Histogram()
+        self.window_loads = Histogram()
+        self.window_safe_loads = Histogram()
+        self.window_unsafe_stores = Histogram()
+
+    # -- execution-time hooks -------------------------------------------
+    def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:
+        """A load issued.  May return a younger load to replay from
+        (conventional load-load coherence ordering only)."""
+        return None
+
+    def on_wrongpath_load(self, age: int, addr: int) -> None:
+        """A wrong-path load issued (phantom; will be undone by recovery)."""
+
+    def on_store_resolve(self, store: DynInstr, cycle: int) -> Optional[DynInstr]:
+        """A store's address resolved.  May return a premature load to
+        replay from (conventional execution-time detection)."""
+        return None
+
+    # -- commit-time hooks ------------------------------------------------
+    def on_commit(self, instr: DynInstr, cycle: int) -> CommitDecision:
+        """An instruction is about to retire (in order)."""
+        return CommitDecision.OK
+
+    # -- control-flow repair ----------------------------------------------
+    def on_recovery(self, last_kept_seq: int) -> None:
+        """Branch misprediction recovery completed."""
+
+    def on_squash(self, last_kept_seq: int, squashed_loads: List[DynInstr]) -> None:
+        """A replay squashed everything younger than ``last_kept_seq``."""
+
+    # -- coherence ---------------------------------------------------------
+    def on_invalidation(self, line_addr: int, line_bytes: int, cycle: int,
+                        oldest_inflight_seq: int) -> None:
+        """An external invalidation for ``line_addr`` arrived."""
+
+    # -- observability ------------------------------------------------------
+    @property
+    def checking_active(self) -> bool:
+        """True while a DMDC checking window is open (cycle accounting)."""
+        return False
+
+    def finalize(self, cycle: int) -> None:
+        """End-of-run hook (close any open checking window for stats)."""
+
+    def collect(self) -> None:
+        """Export component-internal counters into ``self.stats``.
+
+        Called once by the processor when building the result, so the
+        energy model can price YLA/bloom/table activity uniformly.
+        """

@@ -1,0 +1,51 @@
+"""Associative checking queue — the hash-table alternative of Section 4.4.
+
+Instead of hashing unsafe-store addresses into a table, keep them (exact,
+with sizes) in a small associative queue.  Loads are checked against every
+valid entry, so hash-conflict false replays disappear; the price is a
+forced replay whenever the queue cannot accept a new unsafe store.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.utils.bitops import overlap
+
+
+class CheckingQueue:
+    """Bounded associative store-address queue for DMDC."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ConfigError("checking queue needs at least one entry")
+        self.entries = entries
+        self._valid: List[Tuple[int, int, int]] = []  # (seq, addr, size)
+        self.writes = 0
+        self.reads = 0
+        self.clears = 0
+        self.overflows = 0
+
+    def insert(self, seq: int, addr: int, size: int) -> bool:
+        """Record a committed unsafe store; False signals an overflow."""
+        self.writes += 1
+        if len(self._valid) >= self.entries:
+            self.overflows += 1
+            return False
+        self._valid.append((seq, addr, size))
+        return True
+
+    def check_load(self, addr: int, size: int) -> Optional[int]:
+        """Associative check at load commit; returns matching store seq."""
+        self.reads += 1
+        for seq, s_addr, s_size in self._valid:
+            if overlap(s_addr, s_size, addr, size):
+                return seq
+        return None
+
+    def clear(self) -> None:
+        self.clears += 1
+        self._valid.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._valid)

@@ -1,0 +1,174 @@
+"""Conventional associative-LQ checking, with optional search filters.
+
+``ConventionalScheme`` is the paper's baseline (Section 2): every resolving
+store CAM-searches the LQ for younger issued loads to the same address and
+replays from the oldest match.
+
+``YlaFilteredScheme`` (Section 3) and ``BloomFilteredScheme`` (Figure 3 /
+[18]) keep that machinery but skip the search when their filter proves no
+younger (YLA) / no aliasing (BF) issued load exists.  A filtered search is
+counted separately — that count is the energy the filter saves.
+"""
+
+from typing import List, Optional
+
+from repro.backend.dyninst import DynInstr
+from repro.core.bloom import CountingBloomFilter
+from repro.core.schemes.base import CheckScheme
+from repro.core.yla import YlaFile
+from repro.errors import SimulationError
+from repro.lsq.queues import LoadQueue, StoreQueue
+
+
+class ConventionalScheme(CheckScheme):
+    """Baseline: unfiltered associative LQ search at store resolution."""
+
+    uses_associative_lq = True
+    name = "conventional"
+
+    def __init__(self, coherence: bool = False):
+        super().__init__()
+        self.coherence = coherence
+        self.lq: Optional[LoadQueue] = None
+        self.sq: Optional[StoreQueue] = None
+        self.line_bytes = 128
+
+    def attach(self, lq: LoadQueue, sq: StoreQueue, line_bytes: int) -> None:
+        """Bind the pipeline's queues; called once by the processor."""
+        self.lq = lq
+        self.sq = sq
+        self.line_bytes = line_bytes
+
+    # ------------------------------------------------------------------
+    def _should_search(self, store: DynInstr) -> bool:
+        """Filter hook; the baseline always searches."""
+        return True
+
+    def on_store_resolve(self, store: DynInstr, cycle: int) -> Optional[DynInstr]:
+        if self.lq is None:
+            raise SimulationError("scheme not attached to queues")
+        self.stats.bump("stores.resolved")
+        if not self._should_search(store):
+            self.stats.bump("lq.searches_filtered")
+            self.lq.searches_filtered += 1
+            return None
+        self.stats.bump("lq.searches")
+        victim = self.lq.search_younger_issued(store)
+        if victim is not None:
+            self.stats.bump("replay.execution_time")
+        return victim
+
+    def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:
+        if not self.coherence:
+            return None
+        # Load-load ordering (Section 2): the issuing load searches the LQ
+        # for *younger* issued loads to the same line that saw an
+        # invalidation; replay from the oldest such load.
+        self.lq.inv_searches += 1
+        self.stats.bump("lq.inv_searches")
+        line = load.addr & ~(self.line_bytes - 1)
+        for other in self.lq.ring:
+            if (
+                other.seq > load.seq
+                and other.issue_cycle >= 0
+                and other.inv_marked
+                and (other.addr & ~(self.line_bytes - 1)) == line
+            ):
+                self.stats.bump("replay.coherence")
+                return other
+        return None
+
+    def on_invalidation(self, line_addr: int, line_bytes: int, cycle: int,
+                        oldest_inflight_seq: int) -> None:
+        if not self.coherence:
+            return
+        # Every invalidation searches the whole LQ to mark matching loads.
+        self.lq.inv_searches += 1
+        self.stats.bump("lq.inv_searches")
+        for load in self.lq.ring:
+            if load.issue_cycle >= 0 and (load.addr & ~(line_bytes - 1)) == line_addr:
+                load.inv_marked = True
+
+
+class YlaFilteredScheme(ConventionalScheme):
+    """Conventional LQ + YLA-based search filtering (Section 3)."""
+
+    name = "yla"
+
+    def __init__(self, num_registers: int = 8, granularity_bytes: int = 8,
+                 coherence: bool = False):
+        super().__init__(coherence=coherence)
+        self.yla = YlaFile(num_registers, granularity_bytes)
+
+    def _should_search(self, store: DynInstr) -> bool:
+        safe = self.yla.store_is_safe(store.addr, store.seq)
+        if safe:
+            self.stats.bump("stores.safe")
+        return not safe
+
+    def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:
+        self.yla.observe_load_issue(load.addr, load.seq)
+        return super().on_load_issue(load, cycle)
+
+    def on_wrongpath_load(self, age: int, addr: int) -> None:
+        self.yla.observe_load_issue(addr, age)
+        self.stats.bump("yla.wrongpath_updates")
+
+    def on_recovery(self, last_kept_seq: int) -> None:
+        self.yla.rollback(last_kept_seq)
+
+    def on_squash(self, last_kept_seq: int, squashed_loads: List[DynInstr]) -> None:
+        self.yla.rollback(last_kept_seq)
+
+    def collect(self) -> None:
+        self.stats["yla.compares"] = self.yla.compares
+        self.stats["yla.updates"] = self.yla.updates
+
+
+class BloomFilteredScheme(ConventionalScheme):
+    """Conventional LQ + counting-Bloom-filter search filtering [18]."""
+
+    name = "bloom"
+
+    def __init__(self, entries: int = 1024, coherence: bool = False):
+        super().__init__(coherence=coherence)
+        self.bloom = CountingBloomFilter(entries)
+        self._phantoms: List[int] = []
+
+    def _should_search(self, store: DynInstr) -> bool:
+        present = self.bloom.may_contain(store.addr)
+        if not present:
+            self.stats.bump("stores.safe")
+        return present
+
+    def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:
+        self.bloom.insert(load.addr)
+        return super().on_load_issue(load, cycle)
+
+    def on_wrongpath_load(self, age: int, addr: int) -> None:
+        # Phantom wrong-path loads enter the filter and are backed out at
+        # recovery, matching the counting filter's squash behaviour.
+        self.bloom.insert(addr)
+        self._phantoms.append(addr)
+
+    def on_recovery(self, last_kept_seq: int) -> None:
+        for addr in self._phantoms:
+            self.bloom.remove(addr)
+        self._phantoms.clear()
+
+    def on_squash(self, last_kept_seq: int, squashed_loads: List[DynInstr]) -> None:
+        for load in squashed_loads:
+            if load.issue_cycle >= 0:
+                self.bloom.remove(load.addr)
+
+    def on_commit(self, instr: DynInstr, cycle: int):
+        if instr.is_load and instr.issue_cycle >= 0:
+            self.bloom.remove(instr.addr)
+        return super().on_commit(instr, cycle)
+
+    def collect(self) -> None:
+        self.stats["bloom.probes"] = self.bloom.probes
+        self.stats["bloom.inserts"] = self.bloom.inserts
+        self.stats["bloom.removes"] = self.bloom.removes
+        self.stats["bloom.entries"] = self.bloom.entries
+        self.stats["bloom.saturations"] = self.bloom.saturations

@@ -1,0 +1,125 @@
+"""Age-hash LQ replacement of Garg et al. [11] (ISLPED 2006).
+
+The design DMDC directly improves upon: the associative LQ is replaced by
+a single hash table in which **each entry records the age of the youngest
+issued load whose address hashes to it**.  A resolving store indexes the
+table; a recorded age younger than the store means a possible premature
+load, and the machine conservatively replays everything younger than the
+store (the offending load cannot be identified without an LQ).
+
+Contrasts with DMDC, per the paper's related-work discussion:
+
+* every load writes an *age* (more bits) into the table, and every store
+  reads it — no filtering, so far more table traffic;
+* detection is at execution time, so squashed-path loads pollute the
+  table (stale young ages cause false replays until commit age passes
+  them); DMDC's commit-time marking avoids pollution by construction;
+* a replay must flush from the store (no victim load is known), which is
+  costlier than DMDC's replay-from-the-load.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.backend.dyninst import DynInstr
+from repro.core.schemes.base import CheckScheme
+from repro.errors import ConfigError, SimulationError
+from repro.utils.bitops import fold_xor, is_power_of_two, log2_exact
+from repro.utils.ring import RingBuffer
+
+
+class AgeHashTable:
+    """Hash table of youngest-issued-load ages, keyed by quad-word address."""
+
+    def __init__(self, entries: int):
+        if not is_power_of_two(entries):
+            raise ConfigError("age-hash table entries must be a power of two")
+        self.entries = entries
+        self._bits = log2_exact(entries)
+        self._ages: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def index(self, addr: int) -> int:
+        return fold_xor(addr >> 3, self._bits)
+
+    def observe_load(self, addr: int, age: int) -> None:
+        self.writes += 1
+        i = self.index(addr)
+        if age > self._ages.get(i, -1):
+            self._ages[i] = age
+
+    def youngest_for(self, addr: int) -> int:
+        self.reads += 1
+        return self._ages.get(self.index(addr), -1)
+
+    def rollback(self, last_kept_age: int) -> None:
+        """Optional squash repair (the hardware version cannot afford it;
+        modelled for the ablation of pollution effects)."""
+        for i, age in list(self._ages.items()):
+            if age > last_kept_age:
+                self._ages[i] = last_kept_age
+
+
+class GargAgeHashScheme(CheckScheme):
+    """Replace the associative LQ with an age hash table [11]."""
+
+    uses_associative_lq = False
+    name = "garg"
+
+    def __init__(self, table_entries: int = 2048, repair_on_squash: bool = False):
+        super().__init__()
+        self.table = AgeHashTable(table_entries)
+        #: When True, squashes clamp table ages (an idealised variant the
+        #: real hardware cannot implement cheaply); False models the
+        #: pollution the paper says DMDC "naturally avoids".
+        self.repair_on_squash = repair_on_squash
+        self._rob: Optional[RingBuffer] = None
+
+    def attach_rob(self, rob: RingBuffer) -> None:
+        """Bind the ROB; needed to pick the flush point on a hit."""
+        self._rob = rob
+
+    def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:
+        self.table.observe_load(load.addr, load.seq)
+        return None
+
+    def on_wrongpath_load(self, age: int, addr: int) -> None:
+        self.table.observe_load(addr, age)
+        self.stats.bump("garg.wrongpath_updates")
+
+    def on_store_resolve(self, store: DynInstr, cycle: int) -> Optional[DynInstr]:
+        if self._rob is None:
+            raise SimulationError("Garg scheme not attached to the ROB")
+        self.stats.bump("stores.resolved")
+        youngest = self.table.youngest_for(store.addr)
+        if youngest <= store.seq:
+            self.stats.bump("stores.safe")
+            return None
+        # Possible premature load somewhere younger: flush from the first
+        # instruction after the store (the table cannot name the load).
+        for entry in self._rob:
+            if entry.seq > store.seq:
+                self.stats.bump("replay.execution_time")
+                if entry.true_violation_store < 0 and not (
+                    entry.is_load and entry.issue_cycle >= 0
+                    and entry.addr >> 3 == store.addr >> 3
+                ):
+                    self.stats.bump("replay.false")
+                return entry
+        # Stale table entry (e.g. from a squashed load) with nothing
+        # younger in flight: nothing to do.
+        self.stats.bump("garg.stale_hits")
+        return None
+
+    def on_recovery(self, last_kept_seq: int) -> None:
+        if self.repair_on_squash:
+            self.table.rollback(last_kept_seq)
+
+    def on_squash(self, last_kept_seq: int, squashed_loads: List[DynInstr]) -> None:
+        if self.repair_on_squash:
+            self.table.rollback(last_kept_seq)
+
+    def collect(self) -> None:
+        self.stats["garg.table.reads"] = self.table.reads
+        self.stats["garg.table.writes"] = self.table.writes
+        self.stats["garg.table.entries"] = self.table.entries

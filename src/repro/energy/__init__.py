@@ -1,0 +1,21 @@
+"""Wattch-style energy accounting.
+
+The paper reports energy through Wattch (activity counts x per-access
+structure energies, plus clocking/leakage per cycle).  This package
+reimplements that methodology with analytic CAM/RAM energy formulas whose
+coefficients are documented in :mod:`repro.energy.params`.  Absolute
+Joules are not meaningful; energy *ratios* between schemes — the only
+thing the paper reports — are.
+"""
+
+from repro.energy.params import EnergyParams, cam_search_energy, cam_write_energy, ram_energy
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "EnergyParams",
+    "cam_search_energy",
+    "cam_write_energy",
+    "ram_energy",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

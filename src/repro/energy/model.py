@@ -1,0 +1,183 @@
+"""Processor-wide and LQ-local energy evaluation of a simulation result.
+
+``EnergyModel.evaluate`` turns a :class:`~repro.sim.result.SimulationResult`
+into an :class:`EnergyBreakdown`: per-structure energies computed as
+activity counts x per-access energies (Wattch's methodology), plus a
+per-cycle clocking/leakage term so that slowdown has an energy cost.
+
+The load-queue component is scheme-aware:
+
+* conventional/filtered schemes pay CAM searches + CAM allocation writes
+  + commit reads, plus the filter's own overhead (YLA registers or bloom
+  filter);
+* DMDC pays a narrow FIFO of hash keys, checking-table reads/writes and
+  flash clears, YLA registers, and the end-check register — no CAM at all.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.params import (
+    ADDR_TAG_BITS,
+    DEFAULT_PARAMS,
+    EnergyParams,
+    cam_search_energy,
+    cam_write_energy,
+    flash_clear_energy,
+    ram_energy,
+    register_energy,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.result import SimulationResult
+from repro.utils.bitops import log2_exact
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-structure energy of one run (abstract units)."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+    lq_detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def lq(self) -> float:
+        """Energy spent implementing the LQ's functionality."""
+        return self.components.get("lq", 0.0)
+
+    def share(self, name: str) -> float:
+        total = self.total
+        return self.components.get(name, 0.0) / total if total else 0.0
+
+
+class EnergyModel:
+    """Maps activity counters to energy for one machine configuration."""
+
+    #: Fixed per-access energies for structures whose size does not vary
+    #: across the paper's configurations.
+    FU_OP = 5.0
+
+    def __init__(self, config: MachineConfig, params: EnergyParams = DEFAULT_PARAMS):
+        self.config = config
+        self.params = params
+        cfg = config
+        # Clock tree + leakage grow with the amount of clocked state.
+        self.clock_per_cycle = 40.0 + 0.55 * (cfg.rob_size + cfg.regs_int + cfg.regs_fp)
+        self.e_icache = ram_energy(cfg.l1i_size // 64, 80, params)
+        self.e_dcache = ram_energy(cfg.l1d_size // 64, 80, params)
+        self.e_l2 = ram_energy(cfg.l2_size // cfg.l2_line_bytes, 100, params)
+        self.e_bpred = ram_energy(cfg.gshare_entries, 4, params) + ram_energy(cfg.btb_entries, 40, params)
+        self.e_rename = ram_energy(64, 16, params) * cfg.width / 8.0
+        self.e_rob = ram_energy(cfg.rob_size, 32, params)
+        iq_total = cfg.iq_int + cfg.iq_fp
+        self.e_wakeup = cam_search_energy(iq_total, 10, params)
+        self.e_select = ram_energy(iq_total, 4, params)
+        self.e_regfile = ram_energy(cfg.regs_int + cfg.regs_fp, 64, params)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, result: SimulationResult) -> EnergyBreakdown:
+        """Compute the full per-structure energy breakdown of one run."""
+        c = result.counters
+        comp: Dict[str, float] = {}
+        comp["icache"] = c["icache.reads"] * self.e_icache
+        comp["dcache"] = (c["dcache.reads"] + c["commit.stores"]) * self.e_dcache
+        comp["l2"] = c["l2.accesses"] * self.e_l2
+        comp["bpred"] = c["bpred.lookups"] * 2 * self.e_bpred
+        comp["rename"] = c["rename.ops"] * self.e_rename
+        comp["rob"] = (c["rob.writes"] + c["commit.instructions"]) * self.e_rob
+        issued = c["issue.instructions"] + c["issue.loads"] + c["issue.stores"]
+        comp["iq"] = c["iq.wakeups"] * self.e_wakeup + issued * self.e_select
+        comp["regfile"] = (c["regfile.reads"] + c["regfile.writes"]) * self.e_regfile
+        comp["fu"] = issued * self.FU_OP
+        comp["sq"] = self._sq_energy(result)
+        lq_detail = self._lq_energy(result)
+        comp["lq"] = sum(lq_detail.values())
+        comp["clock"] = result.cycles * self.clock_per_cycle
+        return EnergyBreakdown(components=comp, lq_detail=lq_detail)
+
+    # ------------------------------------------------------------------
+    def _sq_energy(self, result: SimulationResult) -> float:
+        """Store queue: forwarding CAM searches + allocation + commit."""
+        c = result.counters
+        p = self.params
+        sq = self.config.sq_size
+        return (
+            c["sq.searches_assoc"] * cam_search_energy(sq, ADDR_TAG_BITS, p)
+            + c["sq.writes"] * cam_write_energy(sq, ADDR_TAG_BITS, p)
+            + c["commit.stores"] * ram_energy(sq, 16, p)
+        )
+
+    def _lq_energy(self, result: SimulationResult) -> Dict[str, float]:
+        """Everything paid to implement the LQ's checking functionality."""
+        if result.scheme_name.startswith("dmdc"):
+            return self._lq_energy_dmdc(result)
+        if result.scheme_name == "garg":
+            return self._lq_energy_garg(result)
+        if result.scheme_name == "value":
+            return self._lq_energy_value(result)
+        return self._lq_energy_associative(result)
+
+    def _lq_energy_garg(self, result: SimulationResult) -> Dict[str, float]:
+        """Garg et al. [11]: an age hash table written by every load and
+        read by every store -- wider entries and far more traffic than
+        DMDC's filtered, address-only table."""
+        c = result.counters
+        p = self.params
+        table = c["garg.table.entries"] or self.config.checking_table
+        age_bits = 14  # ROB-position age plus wrap/valid bits
+        return {
+            "table": (c["garg.table.reads"] + c["garg.table.writes"])
+            * ram_energy(table, age_bits, p),
+        }
+
+    def _lq_energy_value(self, result: SimulationResult) -> Dict[str, float]:
+        """Cain-Lipasti value-based checking: no LQ structure at all; the
+        cost is the commit-time cache re-access per load (the 'elevated
+        memory bandwidth requirement')."""
+        c = result.counters
+        return {
+            "reexecution": c["dcache.reexecutions"] * self.e_dcache,
+        }
+
+    def _lq_energy_associative(self, result: SimulationResult) -> Dict[str, float]:
+        c = result.counters
+        p = self.params
+        lq = self.config.lq_size
+        detail = {
+            "search": (c["lq.searches_assoc"] + c["lq.inv_searches"])
+            * cam_search_energy(lq, ADDR_TAG_BITS, p),
+            "allocate": c["lq.writes"] * cam_write_energy(lq, ADDR_TAG_BITS, p),
+            "commit": c["commit.loads"] * ram_energy(lq, 8, p),
+        }
+        # Filter overheads (zero for the plain baseline).
+        yla_ops = c["yla.compares"] + c["yla.updates"]
+        if yla_ops:
+            detail["yla"] = yla_ops * register_energy(16, p)
+        bloom_ops = c["bloom.probes"] + c["bloom.inserts"] + c["bloom.removes"]
+        if bloom_ops:
+            entries = c["bloom.entries"] or 1024
+            detail["bloom"] = bloom_ops * ram_energy(entries, 4, p)
+        return detail
+
+    def _lq_energy_dmdc(self, result: SimulationResult) -> Dict[str, float]:
+        c = result.counters
+        p = self.params
+        lq = self.config.lq_size
+        table = c["table.entries"] or self.config.checking_table
+        key_bits = log2_exact(table) + 4 if table else 15
+        detail = {
+            # FIFO of hash keys: narrow RAM instead of a wide CAM.
+            "fifo": (c["lq.keys_written"] + c["commit.loads"]) * ram_energy(lq, key_bits, p),
+            "table": (c["table.reads"] + c["table.writes"]) * ram_energy(table, 5, p),
+            "clear": c["table.clears"] * flash_clear_energy(table, p),
+            "yla": (c["yla.compares"] + c["yla.updates"]) * register_energy(16, p),
+            "end_check": c["stores.unsafe"] * register_energy(9, p),
+        }
+        queue_ops = c["ckq.reads"] + c["ckq.writes"]
+        if queue_ops:
+            entries = c["ckq.entries"] or 16
+            detail["queue"] = queue_ops * cam_search_energy(entries, ADDR_TAG_BITS, p)
+        return detail

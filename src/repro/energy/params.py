@@ -1,0 +1,68 @@
+"""Analytic per-access energy formulas (abstract Wattch-like technology).
+
+All energies are in arbitrary picojoule-like units of one abstract
+technology node.  The formulas capture the first-order scaling Wattch
+models:
+
+* a fully-associative **CAM search** drives every tag bitline and match
+  line, so it scales with ``entries x tag_bits``;
+* a **CAM write** drives the same array's bitlines (slightly cheaper than
+  a search, which also fires the match/priority logic);
+* an indexed **RAM access** pays decoder + one wordline + bitlines, so it
+  scales with ``width x sqrt(entries)``;
+* small dedicated **registers** (YLA, end-check) cost a flat per-bit
+  latch/compare energy, orders of magnitude below an array access.
+
+Coefficients were chosen so the conventional load queue consumes a few
+percent of total core energy, growing with queue size across the paper's
+config1 -> config3 (as Wattch reports for real LSQs).  See DESIGN.md.
+"""
+
+import math
+from dataclasses import dataclass
+
+#: Physical address bits held in LQ/SQ entries.
+ADDR_TAG_BITS = 40
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Technology coefficients (abstract units per access)."""
+
+    cam_bit: float = 0.0176         # per entry-bit searched
+    cam_write_ratio: float = 0.80   # write cost relative to a search
+    ram_bit: float = 0.011          # per width-bit x sqrt(entries)
+    ram_fixed: float = 0.09         # per width-bit decoder/sense overhead
+    reg_bit: float = 0.012          # dedicated register compare/update, per bit
+    flash_clear_bit: float = 0.0004  # per entry on a flash clear
+
+
+DEFAULT_PARAMS = EnergyParams()
+
+
+def cam_search_energy(entries: int, tag_bits: int = ADDR_TAG_BITS,
+                      params: EnergyParams = DEFAULT_PARAMS) -> float:
+    """Energy of one associative search of a CAM array."""
+    return params.cam_bit * entries * tag_bits
+
+
+def cam_write_energy(entries: int, tag_bits: int = ADDR_TAG_BITS,
+                     params: EnergyParams = DEFAULT_PARAMS) -> float:
+    """Energy of writing one entry of a CAM array."""
+    return params.cam_write_ratio * cam_search_energy(entries, tag_bits, params)
+
+
+def ram_energy(entries: int, width_bits: int,
+               params: EnergyParams = DEFAULT_PARAMS) -> float:
+    """Energy of one read or write of an indexed RAM array."""
+    return width_bits * (params.ram_bit * math.sqrt(entries) + params.ram_fixed)
+
+
+def register_energy(bits: int, params: EnergyParams = DEFAULT_PARAMS) -> float:
+    """Energy of one compare/update of a small dedicated register."""
+    return params.reg_bit * bits
+
+
+def flash_clear_energy(entries: int, params: EnergyParams = DEFAULT_PARAMS) -> float:
+    """Energy of flash-clearing a table's valid bits."""
+    return params.flash_clear_bit * entries

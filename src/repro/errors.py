@@ -1,0 +1,30 @@
+"""Exception hierarchy for the DMDC reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """A machine or scheme configuration is invalid or inconsistent."""
+
+
+class TraceError(ReproError):
+    """A trace or micro-op is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This is always a bug in the simulator (or a violated model invariant),
+    never a property of the simulated program.
+    """
+
+
+class OrderingViolationMissed(SimulationError):
+    """A true memory-ordering violation retired undetected.
+
+    Raised by the ground-truth checker when a dependence-checking scheme
+    lets a premature load commit without a replay.  Any scheme that raises
+    this is unsound.
+    """

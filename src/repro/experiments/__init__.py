@@ -1,0 +1,12 @@
+"""One experiment module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning a plain dict of rows
+(JSON-friendly) and a ``render(data) -> str`` producing the same table the
+paper prints.  The benchmark harness under ``benchmarks/`` is a thin
+wrapper around these functions; EXPERIMENTS.md records paper-vs-measured
+for each one.
+"""
+
+from repro.experiments.common import run_suite, suite_workloads, group_means
+
+__all__ = ["run_suite", "suite_workloads", "group_means"]

@@ -1,0 +1,107 @@
+"""Shared experiment machinery: suite sweeps with optional parallelism.
+
+Experiments run the whole 26-workload suite for each design point.  Runs
+are independent, so they fan out across processes by default; set
+``REPRO_PARALLEL=0`` to force serial execution (useful under debuggers)
+and ``REPRO_WORKLOADS_PER_GROUP=n`` to sweep a subset while iterating.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.config import MachineConfig
+from repro.sim.result import SimulationResult
+from repro.sim.runner import instruction_budget, run_workload
+from repro.workloads import FP_WORKLOADS, INT_WORKLOADS, get_workload
+
+
+def suite_workloads() -> List[str]:
+    """Workload names for experiments (full suite unless subset requested)."""
+    per_group = os.environ.get("REPRO_WORKLOADS_PER_GROUP")
+    if per_group:
+        n = max(1, int(per_group))
+        return INT_WORKLOADS[:n] + FP_WORKLOADS[:n]
+    return INT_WORKLOADS + FP_WORKLOADS
+
+
+def _run_one(args: Tuple[MachineConfig, str, int, int]) -> SimulationResult:
+    config, name, budget, seed = args
+    return run_workload(config, get_workload(name), max_instructions=budget, seed=seed)
+
+
+def _parallelism() -> int:
+    if os.environ.get("REPRO_PARALLEL", "1") == "0":
+        return 1
+    return min(os.cpu_count() or 1, 12)
+
+
+def run_suite(
+    config: MachineConfig,
+    budget: Optional[int] = None,
+    workloads: Optional[Iterable[str]] = None,
+    seed: int = 1,
+) -> Dict[str, SimulationResult]:
+    """Run every suite workload on ``config``; returns results by name."""
+    names = list(workloads) if workloads is not None else suite_workloads()
+    budget = budget if budget is not None else instruction_budget()
+    jobs = [(config, name, budget, seed) for name in names]
+    workers = _parallelism()
+    if workers <= 1 or len(jobs) <= 1:
+        results = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_one, jobs))
+    return {name: result for name, result in zip(names, results)}
+
+
+def run_suite_many(
+    configs: Dict[str, MachineConfig],
+    budget: Optional[int] = None,
+    workloads: Optional[Iterable[str]] = None,
+    seed: int = 1,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run the suite under several configurations in one process pool.
+
+    Flattens (config, workload) pairs so parallelism covers the whole
+    sweep, not just one configuration at a time.
+    """
+    names = list(workloads) if workloads is not None else suite_workloads()
+    budget = budget if budget is not None else instruction_budget()
+    keys = list(configs)
+    jobs = [(configs[key], name, budget, seed) for key in keys for name in names]
+    workers = _parallelism()
+    if workers <= 1 or len(jobs) <= 1:
+        results = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_one, jobs))
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    i = 0
+    for key in keys:
+        out[key] = {}
+        for name in names:
+            out[key][name] = results[i]
+            i += 1
+    return out
+
+
+def group_means(
+    results: Dict[str, SimulationResult],
+    metric: Callable[[SimulationResult], float],
+) -> Dict[str, Dict[str, float]]:
+    """Apply ``metric`` per workload and aggregate to INT/FP mean/min/max."""
+    groups: Dict[str, List[float]] = {"INT": [], "FP": []}
+    for result in results.values():
+        groups.setdefault(result.group, []).append(metric(result))
+    out = {}
+    for group, vals in groups.items():
+        if not vals:
+            continue
+        out[group] = {
+            "mean": sum(vals) / len(vals),
+            "min": min(vals),
+            "max": max(vals),
+            "n": len(vals),
+        }
+    return out

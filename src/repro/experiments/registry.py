@@ -1,0 +1,67 @@
+"""Registry mapping experiment ids to their run/render functions."""
+
+from typing import Callable, Dict, NamedTuple
+
+from repro.experiments import (
+    ablation_storesets,
+    ablation_table_size,
+    ablation_wrongpath,
+    checking_queue,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    related_work,
+    safe_loads,
+    sq_filter,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    yla_energy,
+)
+
+
+class Experiment(NamedTuple):
+    """One reproducible paper artifact."""
+
+    id: str
+    paper_artifact: str
+    run: Callable
+    render: Callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.id: exp
+    for exp in [
+        Experiment("fig2", "Figure 2", fig2.run_fig2, fig2.render),
+        Experiment("fig3", "Figure 3", fig3.run_fig3, fig3.render),
+        Experiment("yla_energy", "Section 6.1 energy", yla_energy.run_yla_energy, yla_energy.render),
+        Experiment("fig4", "Figure 4", fig4.run_fig4, fig4.render),
+        Experiment("table2", "Table 2", table2.run_table2, table2.render),
+        Experiment("table3", "Table 3", table3.run_table3, table3.render),
+        Experiment("table4", "Table 4", table4.run_table4, table4.render),
+        Experiment("table5", "Table 5", table5.run_table5, table5.render),
+        Experiment("fig5", "Figure 5", fig5.run_fig5, fig5.render),
+        Experiment("table6", "Table 6", table6.run_table6, table6.render),
+        Experiment("safe_loads", "Section 6.2.2 safe loads", safe_loads.run_safe_loads, safe_loads.render),
+        Experiment("checking_queue", "Section 6.2.3 checking queue", checking_queue.run_checking_queue, checking_queue.render),
+        Experiment("sq_filter", "Section 3 SQ filtering", sq_filter.run_sq_filter, sq_filter.render),
+        Experiment("ablation_table_size", "Ablation: checking-table size",
+                   ablation_table_size.run_ablation_table_size, ablation_table_size.render),
+        Experiment("ablation_wrongpath", "Ablation: wrong-path YLA corruption",
+                   ablation_wrongpath.run_ablation_wrongpath, ablation_wrongpath.render),
+        Experiment("ablation_storesets", "Extension: store-set prediction",
+                   ablation_storesets.run_ablation_storesets, ablation_storesets.render),
+        Experiment("related_work", "Section 7 comparison",
+                   related_work.run_related_work, related_work.render),
+    ]
+}
+
+
+def run_experiment(exp_id: str, **kwargs):
+    """Run one experiment by id and return (data, rendered_text)."""
+    exp = EXPERIMENTS[exp_id]
+    data = exp.run(**kwargs)
+    return data, exp.render(data)

@@ -1,0 +1,17 @@
+"""Front-end components: branch prediction and wrong-path modelling."""
+
+from repro.frontend.branch_predictor import (
+    Bimodal,
+    Gshare,
+    CombinedPredictor,
+    BranchTargetBuffer,
+)
+from repro.frontend.wrongpath import WrongPathModel
+
+__all__ = [
+    "Bimodal",
+    "Gshare",
+    "CombinedPredictor",
+    "BranchTargetBuffer",
+    "WrongPathModel",
+]

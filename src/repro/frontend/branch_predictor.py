@@ -1,0 +1,176 @@
+"""Branch direction and target prediction.
+
+Reproduces the paper's Table 1 front end: a combined predictor choosing
+between a 4K-entry bimodal table and an 8K-entry gshare with 13 bits of
+global history, selected by an 8K-entry meta table, plus a 4K-entry 4-way
+BTB.  All tables use 2-bit saturating counters.
+"""
+
+from repro.utils.bitops import is_power_of_two, log2_exact
+from repro.errors import ConfigError
+
+
+def _saturate_up(counter: int) -> int:
+    return counter + 1 if counter < 3 else 3
+
+
+def _saturate_down(counter: int) -> int:
+    return counter - 1 if counter > 0 else 0
+
+
+class Bimodal:
+    """PC-indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int):
+        if not is_power_of_two(entries):
+            raise ConfigError("bimodal entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [2] * entries  # weakly taken, SimpleScalar default
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        self._table[i] = _saturate_up(self._table[i]) if taken else _saturate_down(self._table[i])
+
+
+class Gshare:
+    """Global-history XOR PC indexed table of 2-bit counters.
+
+    The history register is speculatively updated at predict time and
+    repaired on mispredictions by the caller via :meth:`set_history`.
+    """
+
+    def __init__(self, entries: int, history_bits: int):
+        if not is_power_of_two(entries):
+            raise ConfigError("gshare entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [2] * entries
+        self.history_bits = history_bits
+        self._hist_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool, history_at_predict: int) -> None:
+        i = ((pc >> 2) ^ history_at_predict) & self._mask
+        self._table[i] = _saturate_up(self._table[i]) if taken else _saturate_down(self._table[i])
+
+    def push_history(self, taken: bool) -> None:
+        self.history = ((self.history << 1) | int(taken)) & self._hist_mask
+
+    def set_history(self, history: int) -> None:
+        self.history = history & self._hist_mask
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement, tracking taken-branch targets."""
+
+    def __init__(self, entries: int, assoc: int):
+        if entries % assoc != 0 or not is_power_of_two(entries // assoc):
+            raise ConfigError("BTB sets must be a power of two")
+        self._sets = entries // assoc
+        self._assoc = assoc
+        self._mask = self._sets - 1
+        self._table = {}  # set index -> list of (tag, target) MRU first
+        self.hits = 0
+        self.misses = 0
+
+    def _split(self, pc: int):
+        word = pc >> 2
+        return word & self._mask, word >> log2_exact(self._sets)
+
+    def lookup(self, pc: int):
+        """Return the predicted target or None on a BTB miss."""
+        index, tag = self._split(pc)
+        ways = self._table.get(index, ())
+        for i, (t, target) in enumerate(ways):
+            if t == tag:
+                self.hits += 1
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return target
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        index, tag = self._split(pc)
+        ways = self._table.setdefault(index, [])
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self._assoc:
+            ways.pop()
+
+
+class CombinedPredictor:
+    """Bimodal + gshare with a meta chooser (McFarling-style).
+
+    :meth:`predict` returns ``(taken, snapshot)``; the snapshot carries the
+    global-history value needed for an exact update and for history repair
+    after a misprediction.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        gshare_entries: int = 8192,
+        history_bits: int = 13,
+        meta_entries: int = 8192,
+        btb_entries: int = 4096,
+        btb_assoc: int = 4,
+    ):
+        self.bimodal = Bimodal(bimodal_entries)
+        self.gshare = Gshare(gshare_entries, history_bits)
+        if not is_power_of_two(meta_entries):
+            raise ConfigError("meta entries must be a power of two")
+        self._meta = [2] * meta_entries
+        self._meta_mask = meta_entries - 1
+        self.btb = BranchTargetBuffer(btb_entries, btb_assoc)
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int):
+        """Predict direction; speculatively push it into global history."""
+        self.lookups += 1
+        history = self.gshare.history
+        bim = self.bimodal.predict(pc)
+        gsh = self.gshare.predict(pc)
+        use_gshare = self._meta[(pc >> 2) & self._meta_mask] >= 2
+        taken = gsh if use_gshare else bim
+        self.gshare.push_history(taken)
+        snapshot = {"history": history, "bim": bim, "gsh": gsh, "pred": taken}
+        return taken, snapshot
+
+    def resolve(self, pc: int, taken: bool, snapshot: dict) -> bool:
+        """Update all tables with the true outcome; return mispredicted flag."""
+        mispredicted = snapshot["pred"] != taken
+        i = (pc >> 2) & self._meta_mask
+        bim_ok = snapshot["bim"] == taken
+        gsh_ok = snapshot["gsh"] == taken
+        if gsh_ok != bim_ok:
+            self._meta[i] = _saturate_up(self._meta[i]) if gsh_ok else _saturate_down(self._meta[i])
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken, snapshot["history"])
+        if mispredicted:
+            self.mispredictions += 1
+            # Repair speculative history: correct outcome appended to the
+            # history that existed at prediction time.
+            self.gshare.set_history(((snapshot["history"] << 1) | int(taken)))
+        return mispredicted
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups

@@ -1,0 +1,23 @@
+"""Instruction-set model: micro-ops and dynamic traces.
+
+The simulator is trace-driven: a workload generator emits a
+:class:`~repro.isa.trace.Trace` of :class:`~repro.isa.instruction.MicroOp`
+objects carrying everything the timing model needs (operation class,
+register dependences, memory address/size, branch outcome).  Data values
+are not simulated; memory-ordering correctness is modelled through issue
+timing, which is what the paper's mechanisms act on.
+"""
+
+from repro.isa.opcodes import InstrClass, NUM_ARCH_REGS, INT_REG_BASE, FP_REG_BASE
+from repro.isa.instruction import MicroOp
+from repro.isa.trace import Trace, validate_trace
+
+__all__ = [
+    "InstrClass",
+    "NUM_ARCH_REGS",
+    "INT_REG_BASE",
+    "FP_REG_BASE",
+    "MicroOp",
+    "Trace",
+    "validate_trace",
+]

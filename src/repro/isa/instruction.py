@@ -1,0 +1,118 @@
+"""The static micro-op record a trace is made of."""
+
+from typing import Optional, Tuple
+
+from repro.errors import TraceError
+from repro.isa.opcodes import InstrClass, LEGAL_MEM_SIZES, NUM_ARCH_REGS
+
+
+class MicroOp:
+    """One dynamic instruction in a workload trace.
+
+    A micro-op is *static* with respect to the pipeline: the trace records
+    the resolved outcome of the instruction (its memory address, its branch
+    direction), and the timing model decides when each pipeline event
+    happens.  Fields:
+
+    ``pc``
+        Instruction address (used by the branch predictor and I-cache).
+    ``cls``
+        :class:`InstrClass` selecting the functional-unit pool.
+    ``srcs``
+        Architectural source registers.  For memory ops these are the
+        *address* sources (the address is ready when they are).
+    ``dst``
+        Architectural destination register, or ``None``.
+    ``mem_addr`` / ``mem_size``
+        Effective address and access width for loads and stores.
+    ``data_src``
+        For stores only: the register supplying the store *data*.  A store's
+        address and data operands become ready independently, which is what
+        enables the load-rejection behaviour the paper models.
+    ``taken`` / ``target``
+        For branches: the resolved direction and target PC.
+    """
+
+    __slots__ = (
+        "pc",
+        "cls",
+        "srcs",
+        "dst",
+        "mem_addr",
+        "mem_size",
+        "data_src",
+        "taken",
+        "target",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        cls: InstrClass,
+        srcs: Tuple[int, ...] = (),
+        dst: Optional[int] = None,
+        mem_addr: int = 0,
+        mem_size: int = 8,
+        data_src: Optional[int] = None,
+        taken: bool = False,
+        target: int = 0,
+    ):
+        self.pc = pc
+        self.cls = cls
+        self.srcs = srcs
+        self.dst = dst
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.data_src = data_src
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_load(self) -> bool:
+        return self.cls == InstrClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.cls == InstrClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.cls == InstrClass.LOAD or self.cls == InstrClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cls == InstrClass.BRANCH
+
+    def validate(self) -> None:
+        """Raise :class:`TraceError` when the micro-op is malformed."""
+        if self.pc < 0:
+            raise TraceError(f"negative pc {self.pc}")
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_ARCH_REGS:
+                raise TraceError(f"source register {reg} out of range")
+        if self.dst is not None and not 0 <= self.dst < NUM_ARCH_REGS:
+            raise TraceError(f"destination register {self.dst} out of range")
+        if self.is_mem:
+            if self.mem_size not in LEGAL_MEM_SIZES:
+                raise TraceError(f"illegal memory size {self.mem_size}")
+            if self.mem_addr < 0:
+                raise TraceError("negative memory address")
+            if self.mem_addr % self.mem_size != 0:
+                raise TraceError(
+                    f"misaligned access: addr={self.mem_addr:#x} size={self.mem_size}"
+                )
+        if self.is_store:
+            if self.data_src is not None and not 0 <= self.data_src < NUM_ARCH_REGS:
+                raise TraceError(f"store data register {self.data_src} out of range")
+        elif self.data_src is not None:
+            raise TraceError("data_src is only meaningful for stores")
+        if self.is_branch and self.target < 0:
+            raise TraceError("negative branch target")
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_mem:
+            extra = f" addr={self.mem_addr:#x} size={self.mem_size}"
+        if self.is_branch:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        return f"<MicroOp pc={self.pc:#x} {self.cls.name} srcs={self.srcs} dst={self.dst}{extra}>"

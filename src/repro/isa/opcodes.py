@@ -1,0 +1,59 @@
+"""Operation classes and architectural register conventions.
+
+The modelled ISA is a generic RISC (Alpha-like, matching the paper's
+SimpleScalar substrate): 32 integer and 32 floating-point architectural
+registers, memory accesses of 1-8 bytes, and the functional-unit classes
+SimpleScalar distinguishes.
+"""
+
+import enum
+
+#: Number of architectural registers (32 INT + 32 FP).
+NUM_ARCH_REGS = 64
+#: First integer architectural register index.
+INT_REG_BASE = 0
+#: First floating-point architectural register index.
+FP_REG_BASE = 32
+
+#: Memory access sizes the ISA supports, in bytes.
+LEGAL_MEM_SIZES = (1, 2, 4, 8)
+
+
+class InstrClass(enum.IntEnum):
+    """Functional classes; each maps to a functional-unit pool and latency."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FALU = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    NOP = 9
+
+
+#: Classes that read or write memory.
+MEM_CLASSES = frozenset({InstrClass.LOAD, InstrClass.STORE})
+#: Classes executed on the floating-point side of the machine.
+FP_CLASSES = frozenset({InstrClass.FALU, InstrClass.FMUL, InstrClass.FDIV})
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when ``reg`` lives in the floating-point register file."""
+    return reg >= FP_REG_BASE
+
+
+def uses_fp_queue(cls: "InstrClass", dst: int) -> bool:
+    """Route an instruction to the FP issue queue.
+
+    FP arithmetic always does; loads/stores go to the queue matching their
+    destination/data register file, mirroring SimpleScalar's split RUU
+    accounting.
+    """
+    if cls in FP_CLASSES:
+        return True
+    if cls in MEM_CLASSES and dst is not None and dst >= 0:
+        return is_fp_reg(dst)
+    return False

@@ -1,0 +1,93 @@
+"""Compact binary serialization of traces.
+
+Workload generation is fast, but saved traces make runs byte-reproducible
+across library versions and allow shipping regression inputs.  The format
+is a fixed 28-byte little-endian record per micro-op:
+
+``<I pc> <B cls> <B nsrc> <B src0> <B src1> <b dst> <b data_src> <B size>
+<B taken> <Q mem_addr> <I target> <xx pad>``
+
+plus a 16-byte header (magic, version, count, group).
+"""
+
+import struct
+from typing import BinaryIO
+
+from repro.errors import TraceError
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import InstrClass
+from repro.isa.trace import Trace
+
+MAGIC = b"DMDC"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHII")          # magic, version, group, count, pad
+_RECORD = struct.Struct("<IBBBBbbBBQI2x")
+
+_GROUPS = {"INT": 0, "FP": 1}
+_GROUPS_REV = {v: k for k, v in _GROUPS.items()}
+
+
+def save_trace(trace: Trace, fh: BinaryIO) -> int:
+    """Write ``trace`` to a binary stream; returns bytes written."""
+    group = _GROUPS.get(trace.group)
+    if group is None:
+        raise TraceError(f"unserializable group {trace.group!r}")
+    fh.write(_HEADER.pack(MAGIC, VERSION, group, len(trace), 0))
+    written = _HEADER.size
+    for op in trace:
+        srcs = op.srcs[:2]
+        if len(op.srcs) > 2:
+            raise TraceError("trace format supports at most two sources")
+        fh.write(_RECORD.pack(
+            op.pc,
+            int(op.cls),
+            len(srcs),
+            srcs[0] if len(srcs) > 0 else 0,
+            srcs[1] if len(srcs) > 1 else 0,
+            op.dst if op.dst is not None else -1,
+            op.data_src if op.data_src is not None else -1,
+            op.mem_size,
+            int(op.taken),
+            op.mem_addr,
+            op.target,
+        ))
+        written += _RECORD.size
+    return written
+
+
+def load_trace(fh: BinaryIO, name: str = "loaded") -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise TraceError("truncated trace header")
+    magic, version, group, count, _ = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise TraceError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TraceError(f"unsupported trace version {version}")
+    trace = Trace(name, group=_GROUPS_REV.get(group, "INT"))
+    for i in range(count):
+        raw = fh.read(_RECORD.size)
+        if len(raw) < _RECORD.size:
+            raise TraceError(f"truncated trace at record {i}/{count}")
+        (pc, cls, nsrc, s0, s1, dst, data_src, size, taken, addr,
+         target) = _RECORD.unpack(raw)
+        srcs = (s0, s1)[:nsrc]
+        trace.append(MicroOp(
+            pc, InstrClass(cls), srcs=srcs,
+            dst=None if dst < 0 else dst,
+            mem_addr=addr, mem_size=size,
+            data_src=None if data_src < 0 else data_src,
+            taken=bool(taken), target=target,
+        ))
+    return trace
+
+
+def save_trace_file(trace: Trace, path: str) -> int:
+    with open(path, "wb") as fh:
+        return save_trace(trace, fh)
+
+
+def load_trace_file(path: str, name: str = None) -> Trace:
+    with open(path, "rb") as fh:
+        return load_trace(fh, name=name or path)

@@ -1,0 +1,5 @@
+"""Load/store queues with forwarding, rejection, and associative search."""
+
+from repro.lsq.queues import ForwardAction, ForwardResult, LoadQueue, StoreQueue
+
+__all__ = ["ForwardAction", "ForwardResult", "LoadQueue", "StoreQueue"]

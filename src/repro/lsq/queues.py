@@ -1,0 +1,174 @@
+"""Age-ordered load and store queues.
+
+These model the paper's baseline LSQ (Section 2 and 5):
+
+* loads may issue while older stores still have unresolved addresses
+  (speculative issue);
+* the SQ forwards from the youngest older store with a resolved, fully
+  covering address and ready data;
+* a store whose address matches but whose data is not ready — or which only
+  partially covers the load — *rejects* the load, which retries later
+  (the POWER4-style behaviour the paper assumes);
+* a resolving store associatively searches the LQ for younger loads that
+  issued prematurely (in the conventional scheme).
+
+The queues themselves are scheme-agnostic; dependence-checking schemes
+decide when the associative LQ search actually happens, which is the whole
+point of the paper.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.backend.dyninst import DynInstr
+from repro.utils.bitops import contains, overlap
+from repro.utils.ring import RingBuffer
+
+
+class ForwardAction(enum.Enum):
+    """Outcome of a load's SQ search at issue time."""
+
+    CACHE = "cache"      # no conflicting older store: access the D-cache
+    FORWARD = "forward"  # youngest older matching store supplies the data
+    REJECT = "reject"    # matching store can't forward yet: retry later
+
+
+@dataclass
+class ForwardResult:
+    action: ForwardAction
+    store: Optional[DynInstr]
+    #: True when every older store in the SQ had a resolved address, i.e.
+    #: the load is provably not a premature load (the paper's *safe load*).
+    all_older_resolved: bool
+
+
+class StoreQueue:
+    """Age-ordered store queue with forwarding search."""
+
+    def __init__(self, capacity: int):
+        self.ring = RingBuffer(capacity)
+        self.searches = 0
+        self.searches_filtered = 0
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    @property
+    def full(self) -> bool:
+        return self.ring.full
+
+    def allocate(self, store: DynInstr) -> None:
+        self.ring.push(store)
+
+    def retire_head(self, store: DynInstr) -> None:
+        if self.ring.head() is not store:
+            raise AssertionError("SQ retired out of order")
+        self.ring.pop()
+
+    def squash_younger(self, last_kept_seq: int) -> None:
+        self.ring.squash_younger(lambda s: s.seq <= last_kept_seq)
+
+    def search_for_forwarding(self, load: DynInstr, count_search: bool = True) -> ForwardResult:
+        """Resolve a load's memory source against all older in-flight stores.
+
+        Scans older stores youngest-first.  The youngest older store with a
+        resolved overlapping address decides the outcome; unresolved older
+        stores make the load speculative but do not block it.
+        """
+        if count_search:
+            self.searches += 1
+        else:
+            self.searches_filtered += 1
+        all_resolved = True
+        decision: Optional[ForwardResult] = None
+        for store in reversed(list(self.ring)):
+            if store.seq >= load.seq:
+                continue
+            if not store.resolved:
+                all_resolved = False
+                continue
+            if decision is None and overlap(store.addr, store.size, load.addr, load.size):
+                if contains(store.addr, store.size, load.addr, load.size) and store.pending_data == 0:
+                    decision = ForwardResult(ForwardAction.FORWARD, store, True)
+                else:
+                    decision = ForwardResult(ForwardAction.REJECT, store, True)
+        if decision is None:
+            decision = ForwardResult(ForwardAction.CACHE, None, True)
+        decision.all_older_resolved = all_resolved
+        return decision
+
+    def oldest_unresolved_seq(self) -> Optional[int]:
+        """Age of the oldest store without a resolved address, if any.
+
+        Supports the paper's Section 3 SQ-filtering extension: loads older
+        than every in-flight store can skip the SQ search entirely.
+        """
+        for store in self.ring:
+            if not store.resolved:
+                return store.seq
+        return None
+
+    def oldest_seq(self) -> Optional[int]:
+        head = self.ring.head()
+        return head.seq if head is not None else None
+
+
+class LoadQueue:
+    """Age-ordered load queue.
+
+    In the conventional scheme this is a fully associative CAM searched by
+    every resolving store; under DMDC it degenerates into a FIFO of hash
+    keys (the search methods are simply never called, and the energy model
+    charges the cheaper structure).
+    """
+
+    def __init__(self, capacity: int):
+        self.ring = RingBuffer(capacity)
+        self.searches = 0
+        self.searches_filtered = 0
+        self.inv_searches = 0
+
+    def __len__(self) -> int:
+        return len(self.ring)
+
+    @property
+    def full(self) -> bool:
+        return self.ring.full
+
+    def allocate(self, load: DynInstr) -> None:
+        self.ring.push(load)
+
+    def retire_head(self, load: DynInstr) -> None:
+        if self.ring.head() is not load:
+            raise AssertionError("LQ retired out of order")
+        self.ring.pop()
+
+    def squash_younger(self, last_kept_seq: int) -> None:
+        self.ring.squash_younger(lambda l: l.seq <= last_kept_seq)
+
+    def search_younger_issued(self, store: DynInstr, count_search: bool = True) -> Optional[DynInstr]:
+        """Conventional violation check: oldest younger load, already issued,
+        overlapping the store's bytes.
+
+        Conservative (as in real designs): forwarding provenance is not
+        inspected, so a load that forwarded from a younger store still
+        matches.  Returns the *oldest* such load — replaying from it covers
+        every younger one.
+        """
+        if count_search:
+            self.searches += 1
+        else:
+            self.searches_filtered += 1
+        for load in self.ring:
+            if (
+                load.seq > store.seq
+                and load.issue_cycle >= 0
+                and overlap(store.addr, store.size, load.addr, load.size)
+            ):
+                return load
+        return None
+
+    def issued_loads(self) -> List[DynInstr]:
+        """All loads that have issued (for the ground-truth checker)."""
+        return [l for l in self.ring if l.issue_cycle >= 0]

@@ -1,0 +1,6 @@
+"""Cache and memory hierarchy models."""
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "CacheConfig", "MemoryHierarchy"]

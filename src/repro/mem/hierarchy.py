@@ -1,0 +1,58 @@
+"""Two-level memory hierarchy: split L1, unified L2, flat main memory.
+
+Returns access latency in cycles for instruction fetches, data reads and
+data writes, and exposes line invalidation for the coherence injector.
+"""
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+class MemoryHierarchy:
+    """L1I + L1D backed by a unified L2 backed by main memory."""
+
+    def __init__(
+        self,
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        memory_latency: int,
+    ):
+        self.l1i = Cache(l1i)
+        self.l1d = Cache(l1d)
+        self.l2 = Cache(l2)
+        self.memory_latency = memory_latency
+
+    def fetch(self, pc: int) -> int:
+        """Instruction fetch latency for the line containing ``pc``."""
+        if self.l1i.access(pc):
+            return self.l1i.config.latency
+        if self.l2.access(pc):
+            return self.l1i.config.latency + self.l2.config.latency
+        return self.l1i.config.latency + self.l2.config.latency + self.memory_latency
+
+    def read(self, addr: int) -> int:
+        """Data-read latency (load execution)."""
+        if self.l1d.access(addr):
+            return self.l1d.config.latency
+        if self.l2.access(addr):
+            return self.l1d.config.latency + self.l2.config.latency
+        return self.l1d.config.latency + self.l2.config.latency + self.memory_latency
+
+    def write(self, addr: int) -> int:
+        """Data-write latency (store commit; write-allocate)."""
+        # Stores retire through a write buffer; the returned latency is the
+        # cache-occupancy cost, not a commit-blocking delay.
+        if self.l1d.access(addr):
+            return self.l1d.config.latency
+        if self.l2.access(addr):
+            return self.l1d.config.latency + self.l2.config.latency
+        return self.l1d.config.latency + self.l2.config.latency + self.memory_latency
+
+    def invalidate(self, addr: int) -> None:
+        """Invalidate the data line containing ``addr`` (coherence)."""
+        self.l1d.invalidate_line(addr)
+        self.l2.invalidate_line(addr)
+
+    @property
+    def data_line_bytes(self) -> int:
+        return self.l1d.config.line_bytes

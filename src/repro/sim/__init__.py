@@ -1,0 +1,28 @@
+"""Top-level simulator: machine configuration, pipeline, run harness."""
+
+from repro.sim.config import (
+    MachineConfig,
+    SchemeConfig,
+    CONFIG1,
+    CONFIG2,
+    CONFIG3,
+    CONFIGS,
+    small_config,
+)
+from repro.sim.processor import Processor
+from repro.sim.result import SimulationResult
+from repro.sim.runner import run_trace, run_workload
+
+__all__ = [
+    "MachineConfig",
+    "SchemeConfig",
+    "CONFIG1",
+    "CONFIG2",
+    "CONFIG3",
+    "CONFIGS",
+    "small_config",
+    "Processor",
+    "SimulationResult",
+    "run_trace",
+    "run_workload",
+]

@@ -1,0 +1,152 @@
+"""Machine and scheme configurations (paper Table 1)."""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.mem.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Which dependence-checking scheme runs and with what parameters."""
+
+    kind: str = "conventional"  # conventional | yla | bloom | dmdc | garg | value
+    yla_registers: int = 8
+    yla_granularity: int = 8          # bytes; 8 = quad-word interleaving
+    bloom_entries: int = 1024
+    table_entries: Optional[int] = None  # None -> machine config's size
+    local: bool = False                  # local vs global DMDC
+    safe_loads: bool = True              # safe-load detection optimisation
+    checking_queue_entries: Optional[int] = None  # not None -> queue variant
+    coherence: bool = False
+    sq_filter: bool = False              # Section 3 SQ-search filtering
+    #: Optional store-set dependence predictor (Chrysos-Emer; the paper's
+    #: related work [7]).  Off by default, as in the paper.
+    store_sets: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ("conventional", "yla", "bloom", "dmdc", "garg", "value"):
+            raise ConfigError(f"unknown scheme kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One machine configuration: core widths, queue sizes, memory system."""
+
+    name: str = "config2"
+    # Core
+    width: int = 8                  # issue/decode/commit width
+    rob_size: int = 256
+    iq_int: int = 48
+    iq_fp: int = 48
+    lq_size: int = 96
+    sq_size: int = 48
+    regs_int: int = 200
+    regs_fp: int = 200
+    checking_table: int = 2048
+    int_alu: int = 8
+    int_muldiv: int = 2
+    fp_alu: int = 8
+    fp_muldiv: int = 2
+    dcache_ports: int = 2
+    # Front end
+    fetch_buffer: int = 16
+    decode_latency: int = 2
+    branch_penalty: int = 7
+    bimodal_entries: int = 4096
+    gshare_entries: int = 8192
+    gshare_history: int = 13
+    meta_entries: int = 8192
+    btb_entries: int = 4096
+    btb_assoc: int = 4
+    # Memory hierarchy
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 1
+    l1i_latency: int = 2
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 2
+    l1d_latency: int = 2
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 8
+    l2_line_bytes: int = 128
+    l2_latency: int = 15
+    memory_latency: int = 120
+    l1_line_bytes: int = 64
+    # Replay / retry behaviour
+    replay_penalty: int = 7
+    reject_retry_delay: int = 3
+    #: consecutive replays of the same trace index before the load is forced
+    #: to issue non-speculatively (livelock guard; never fires in practice)
+    replay_guard: int = 4
+    # Wrong-path modelling
+    wrongpath_loads: bool = True
+    wrongpath_mean_loads: float = 1.0
+    # Coherence traffic injection (invalidations per 1000 cycles; 0 = off)
+    invalidation_rate: float = 0.0
+    # Scheme
+    scheme: SchemeConfig = field(default_factory=SchemeConfig)
+
+    def __post_init__(self):
+        if self.width <= 0 or self.rob_size <= 0:
+            raise ConfigError("width and ROB size must be positive")
+        if self.lq_size <= 0 or self.sq_size <= 0:
+            raise ConfigError("LQ/SQ sizes must be positive")
+        if self.rob_size < self.lq_size or self.rob_size < self.sq_size:
+            raise ConfigError("ROB must be at least as large as LQ and SQ")
+
+    # Cache config helpers -------------------------------------------------
+    def l1i_config(self) -> CacheConfig:
+        return CacheConfig("l1i", self.l1i_size, self.l1i_assoc, self.l1_line_bytes, self.l1i_latency)
+
+    def l1d_config(self) -> CacheConfig:
+        return CacheConfig("l1d", self.l1d_size, self.l1d_assoc, self.l1_line_bytes, self.l1d_latency)
+
+    def l2_config(self) -> CacheConfig:
+        return CacheConfig("l2", self.l2_size, self.l2_assoc, self.l2_line_bytes, self.l2_latency)
+
+    def with_scheme(self, scheme: SchemeConfig) -> "MachineConfig":
+        """A copy of this machine running a different checking scheme."""
+        return replace(self, scheme=scheme)
+
+    def with_overrides(self, **kwargs) -> "MachineConfig":
+        """A copy with arbitrary field overrides."""
+        return replace(self, **kwargs)
+
+
+#: The paper's three simulated configurations (Table 1).
+CONFIG1 = MachineConfig(
+    name="config1",
+    iq_int=32, iq_fp=32, rob_size=128, lq_size=48, sq_size=32,
+    regs_int=100, regs_fp=100, checking_table=1024,
+)
+CONFIG2 = MachineConfig(name="config2")
+CONFIG3 = MachineConfig(
+    name="config3",
+    iq_int=64, iq_fp=64, rob_size=512, lq_size=192, sq_size=64,
+    regs_int=400, regs_fp=400, checking_table=4096,
+)
+
+CONFIGS: Tuple[MachineConfig, ...] = (CONFIG1, CONFIG2, CONFIG3)
+
+
+def small_config(**kwargs) -> MachineConfig:
+    """A deliberately tiny machine for fast unit tests."""
+    defaults = dict(
+        name="small",
+        width=4,
+        rob_size=32,
+        iq_int=16,
+        iq_fp=16,
+        lq_size=16,
+        sq_size=8,
+        regs_int=64,
+        regs_fp=64,
+        checking_table=256,
+        fetch_buffer=8,
+        l1i_size=4096,
+        l1d_size=4096,
+        l2_size=64 * 1024,
+    )
+    defaults.update(kwargs)
+    return MachineConfig(**defaults)

@@ -1,0 +1,707 @@
+"""Trace-driven cycle-level out-of-order pipeline.
+
+Models an 8-wide superscalar core in the style of SimpleScalar's
+out-of-order simulator, as configured in the paper's Table 1:
+
+* fetch through an I-cache with a combined bimodal/gshare predictor and
+  BTB; fetch stalls at a mispredicted (or BTB-missing taken) branch and
+  resumes ``branch_penalty`` cycles after the branch resolves — the
+  standard trace-driven treatment of wrong-path execution.  Wrong-path
+  *loads* still matter to the paper (they corrupt YLA), so their effect is
+  injected by :class:`~repro.frontend.wrongpath.WrongPathModel`;
+* rename/dispatch into ROB + split INT/FP issue queues + LQ/SQ, blocking
+  on any full resource;
+* oldest-first issue with functional-unit and D-cache-port bandwidth;
+  loads issue speculatively past unresolved older stores, forward from the
+  SQ, or are rejected and retried (POWER4-style);
+* in-order commit; stores write the D-cache at commit;
+* memory-ordering violations cause a squash-and-refetch from the violating
+  load (execution-time for conventional schemes, commit-time for DMDC).
+
+A simulator-side ground-truth checker flags every *true* premature load at
+store resolution; any scheme that lets such a load retire un-replayed
+raises :class:`~repro.errors.OrderingViolationMissed`.  The flags also feed
+DMDC's replay taxonomy (Tables 3/5 of the paper).
+"""
+
+import heapq
+from collections import defaultdict, deque
+from typing import Dict, List, Optional, Set
+
+from repro.backend.dyninst import DynInstr, InstrState
+from repro.backend.resources import FunctionalUnits, PhysRegFile
+from repro.coherence.injector import InvalidationInjector
+from repro.core.schemes import CommitDecision, build_scheme
+from repro.core.storesets import StoreSetPredictor
+from repro.core.schemes.conventional import ConventionalScheme
+from repro.errors import OrderingViolationMissed, SimulationError
+from repro.frontend.branch_predictor import CombinedPredictor
+from repro.frontend.wrongpath import WrongPathModel
+from repro.isa.opcodes import InstrClass, uses_fp_queue
+from repro.isa.trace import Trace
+from repro.lsq.queues import ForwardAction, LoadQueue, StoreQueue
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.result import SimulationResult
+from repro.stats.counters import CounterSet
+from repro.utils.bitops import contains, overlap
+from repro.utils.rng import DeterministicRng
+from repro.utils.ring import RingBuffer
+
+
+class Processor:
+    """One core running one trace under one dependence-checking scheme."""
+
+    def __init__(self, config: MachineConfig, trace: Trace, seed: int = 1):
+        self.config = config
+        self.trace = trace
+        self.rng = DeterministicRng(seed, f"proc:{trace.name}")
+
+        self.predictor = CombinedPredictor(
+            bimodal_entries=config.bimodal_entries,
+            gshare_entries=config.gshare_entries,
+            history_bits=config.gshare_history,
+            meta_entries=config.meta_entries,
+            btb_entries=config.btb_entries,
+            btb_assoc=config.btb_assoc,
+        )
+        self.memory = MemoryHierarchy(
+            config.l1i_config(), config.l1d_config(), config.l2_config(),
+            config.memory_latency,
+        )
+        self.fus = FunctionalUnits(
+            config.int_alu, config.int_muldiv, config.fp_alu, config.fp_muldiv
+        )
+        self.regs_int = PhysRegFile(config.regs_int)
+        self.regs_fp = PhysRegFile(config.regs_fp)
+        self.rob: RingBuffer = RingBuffer(config.rob_size)
+        self.lq = LoadQueue(config.lq_size)
+        self.sq = StoreQueue(config.sq_size)
+        self.scheme = build_scheme(config.scheme, config)
+        if isinstance(self.scheme, ConventionalScheme):
+            self.scheme.attach(self.lq, self.sq, config.l2_line_bytes)
+        elif hasattr(self.scheme, "attach_rob"):
+            self.scheme.attach_rob(self.rob)
+        self.wrongpath = WrongPathModel(
+            self.rng.child("wrongpath"),
+            mean_loads_per_mispredict=config.wrongpath_mean_loads,
+            enabled=config.wrongpath_loads,
+        )
+        self.storesets = StoreSetPredictor() if config.scheme.store_sets else None
+        self.invalidations = InvalidationInjector(
+            self.rng.child("invalidations"),
+            config.invalidation_rate,
+            config.l2_line_bytes,
+        )
+
+        # Pipeline state
+        self.cycle = 0
+        self.next_seq = 0
+        self.fetch_idx = 0
+        self.fetch_buffer: deque = deque()
+        self.fetch_resume_cycle = 0
+        self.fetch_blocked_branch: Optional[DynInstr] = None
+        self._last_fetch_line = -1
+        self.rename: Dict[int, DynInstr] = {}
+        self.iq_int_count = 0
+        self.iq_fp_count = 0
+        self._ready: List = []  # heap of (seq, DynInstr)
+        self._completions: Dict[int, List[DynInstr]] = defaultdict(list)
+        self._retries: Dict[int, List[DynInstr]] = defaultdict(list)
+        self.committed = 0
+        self._commit_target = float("inf")
+        self.counters = CounterSet()
+        self._checking_cycles = 0
+        self._replay_streak: Dict[int, int] = {}
+        self._force_nonspec: Set[int] = set()
+        self._squashed_this_cycle = False
+        #: Optional PipelineTracer; when set, every pipeline event is recorded.
+        self.tracer = None
+
+    # ==================================================================
+    # Public driver
+    # ==================================================================
+    def prewarm(self, instructions: Optional[int] = None) -> None:
+        """Functionally warm the I-cache, L2 code lines, and branch predictor.
+
+        The paper measures 100M-instruction SimPoints where front-end
+        structures are in steady state; short Python-scale runs would
+        otherwise spend most of their cycles on cold code misses.  Data
+        caches are deliberately *not* prewarmed — data-stream misses are a
+        real steady-state effect the timing run must see.
+        """
+        n = len(self.trace) if instructions is None else min(instructions, len(self.trace))
+        predictor = self.predictor
+        memory = self.memory
+        for i in range(n):
+            uop = self.trace[i]
+            memory.fetch(uop.pc)
+            if uop.is_branch:
+                _, snapshot = predictor.predict(uop.pc)
+                predictor.resolve(uop.pc, uop.taken, snapshot)
+                if uop.taken:
+                    predictor.btb.install(uop.pc, uop.target)
+        # The warm-up should not leak into reported statistics.
+        memory.l1i.hits = memory.l1i.misses = memory.l1i.evictions = 0
+        memory.l2.hits = memory.l2.misses = memory.l2.evictions = 0
+        predictor.lookups = 0
+        predictor.mispredictions = 0
+        predictor.btb.hits = predictor.btb.misses = 0
+
+    def run(self, max_instructions: int, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Simulate until ``max_instructions`` commit (or trace/cycles end)."""
+        if max_cycles is None:
+            max_cycles = max(200_000, max_instructions * 60)
+        target = min(max_instructions, len(self.trace))
+        self._commit_target = target
+        while self.committed < target:
+            self.step()
+            if self.cycle > max_cycles:
+                raise SimulationError(
+                    f"no forward progress: {self.committed}/{target} committed "
+                    f"after {self.cycle} cycles on {self.trace.name}"
+                )
+        self.scheme.finalize(self.cycle)
+        return self._build_result()
+
+    def step(self) -> None:
+        """Advance one cycle (commit -> writeback -> issue -> dispatch -> fetch)."""
+        self._squashed_this_cycle = False
+        if self.scheme.checking_active:
+            self._checking_cycles += 1
+        self._stage_commit()
+        self._stage_complete()
+        self._stage_issue()
+        self._stage_dispatch()
+        self._stage_fetch()
+        self._inject_invalidations()
+        self.cycle += 1
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+    def _stage_commit(self) -> None:
+        for _ in range(self.config.width):
+            if self.committed >= self._commit_target:
+                return
+            head = self.rob.head()
+            if head is None or head.state != InstrState.COMPLETED:
+                break
+            decision = self.scheme.on_commit(head, self.cycle)
+            if decision == CommitDecision.REPLAY:
+                self.counters.bump("replays")
+                self.counters.bump("replays.commit_time")
+                if self.tracer is not None:
+                    self.tracer.record("replay", head, self.cycle)
+                self._squash_from(head)
+                return
+            if head.is_load and head.true_violation_store >= 0:
+                raise OrderingViolationMissed(
+                    f"load seq={head.seq} addr={head.addr:#x} retired despite a "
+                    f"premature issue past store seq={head.true_violation_store} "
+                    f"under scheme {self.scheme.name}"
+                )
+            self._retire(head)
+
+    def _retire(self, instr: DynInstr) -> None:
+        instr.state = InstrState.COMMITTED
+        instr.commit_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.record("commit", instr, self.cycle)
+        self.rob.pop()
+        uop = instr.uop
+        if uop.dst is not None:
+            (self.regs_fp if uop.dst >= 32 else self.regs_int).release()
+            if self.rename.get(uop.dst) is instr:
+                del self.rename[uop.dst]
+        if instr.is_load:
+            self.lq.retire_head(instr)
+            self.counters.bump("commit.loads")
+            if self.scheme.reexecutes_loads:
+                # Value-based checking: every load re-accesses the cache.
+                self.memory.read(instr.addr)
+                self.counters.bump("dcache.reexecutions")
+            if instr.safe:
+                self.counters.bump("commit.safe_loads")
+        elif instr.is_store:
+            self.sq.retire_head(instr)
+            self.memory.write(instr.addr)
+            self.counters.bump("commit.stores")
+        elif instr.is_branch:
+            self.counters.bump("commit.branches")
+        self.committed += 1
+        self.counters.bump("commit.instructions")
+        self._replay_streak.pop(instr.trace_idx, None)
+        self._force_nonspec.discard(instr.trace_idx)
+
+    # ==================================================================
+    # Writeback / completion
+    # ==================================================================
+    def _stage_complete(self) -> None:
+        for instr in self._completions.pop(self.cycle, ()):
+            if instr.squashed or instr.state == InstrState.COMPLETED:
+                continue
+            instr.state = InstrState.COMPLETED
+            instr.complete_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.record("complete", instr, self.cycle)
+            if instr.uop.dst is not None:
+                self.counters.bump("regfile.writes")
+            self._wake_consumers(instr)
+            if instr.is_branch:
+                self._resolve_branch(instr)
+
+    def _wake_consumers(self, producer: DynInstr) -> None:
+        for consumer, kind in producer.consumers:
+            if consumer.squashed:
+                continue
+            self.counters.bump("iq.wakeups")
+            if kind == "op":
+                consumer.pending_ops -= 1
+                if consumer.pending_ops == 0 and consumer.state == InstrState.DISPATCHED:
+                    consumer.state = InstrState.READY
+                    heapq.heappush(self._ready, (consumer.seq, consumer))
+            else:  # store data
+                consumer.pending_data -= 1
+                if (
+                    consumer.pending_data == 0
+                    and consumer.is_store
+                    and consumer.resolved
+                    and consumer.state == InstrState.ISSUED
+                ):
+                    self._completions[self.cycle + 1].append(consumer)
+        producer.consumers.clear()
+
+    def _resolve_branch(self, branch: DynInstr) -> None:
+        uop = branch.uop
+        mispredicted = self.predictor.resolve(uop.pc, uop.taken, branch.pred_snapshot)
+        if uop.taken:
+            self.predictor.btb.install(uop.pc, uop.target)
+        if self.fetch_blocked_branch is branch:
+            self.fetch_blocked_branch = None
+            self.fetch_resume_cycle = self.cycle + self.config.branch_penalty
+            if mispredicted:
+                self.counters.bump("branch.mispredicts")
+                self.scheme.on_recovery(branch.seq)
+            else:
+                self.counters.bump("branch.misfetches")
+
+    # ==================================================================
+    # Issue / execute
+    # ==================================================================
+    def _stage_issue(self) -> None:
+        self.fus.new_cycle()
+        for load in self._retries.pop(self.cycle, ()):
+            if not load.squashed and load.state == InstrState.READY:
+                heapq.heappush(self._ready, (load.seq, load))
+        ports_left = self.config.dcache_ports
+        issued = 0
+        deferred: List[DynInstr] = []
+        while self._ready and issued < self.config.width:
+            _, instr = heapq.heappop(self._ready)
+            if instr.squashed or instr.state != InstrState.READY:
+                continue
+            cls = instr.uop.cls
+            if instr.is_load:
+                outcome, ports_left = self._try_issue_load(instr, ports_left, deferred)
+                if outcome:
+                    issued += 1
+                if self._squashed_this_cycle:
+                    break
+            elif instr.is_store:
+                if not self.fus.try_acquire(cls):
+                    deferred.append(instr)
+                    continue
+                self._issue_store(instr)
+                issued += 1
+                if self._squashed_this_cycle:
+                    break
+            else:
+                if not self.fus.try_acquire(cls):
+                    deferred.append(instr)
+                    continue
+                self._issue_alu(instr)
+                issued += 1
+        for instr in deferred:
+            heapq.heappush(self._ready, (instr.seq, instr))
+
+    def _free_iq_entry(self, instr: DynInstr) -> None:
+        if instr.in_iq:
+            instr.in_iq = False
+            if instr.fp_side:
+                self.iq_fp_count -= 1
+            else:
+                self.iq_int_count -= 1
+
+    def _issue_alu(self, instr: DynInstr) -> None:
+        instr.state = InstrState.ISSUED
+        instr.issue_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.record("issue", instr, self.cycle)
+        self._free_iq_entry(instr)
+        self.counters.bump("issue.instructions")
+        self.counters.bump("regfile.reads", len(instr.uop.srcs))
+        self.counters.bump("fu.ops")
+        lat = self.fus.latency(instr.uop.cls)
+        self._completions[self.cycle + lat].append(instr)
+
+    def _issue_store(self, store: DynInstr) -> None:
+        """AGU issue: the store's address resolves now."""
+        store.state = InstrState.ISSUED
+        store.issue_cycle = self.cycle
+        store.resolve_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.record("issue", store, self.cycle)
+        self._free_iq_entry(store)
+        self.counters.bump("issue.stores")
+        self.counters.bump("regfile.reads", len(store.uop.srcs))
+        if self.storesets is not None:
+            self.storesets.store_resolved(store.uop.pc, store.seq)
+        self._ground_truth_store_resolve(store)
+        if store.pending_data == 0:
+            self._completions[self.cycle + 1].append(store)
+        # else: completion is scheduled when the data producer completes.
+        victim = self.scheme.on_store_resolve(store, self.cycle)
+        if victim is not None and not victim.squashed:
+            self.counters.bump("replays")
+            self.counters.bump("replays.execution_time")
+            self._squash_from(victim)
+
+    def _ground_truth_store_resolve(self, store: DynInstr) -> None:
+        """Flag younger loads that truly issued prematurely past this store.
+
+        A load is exempt when it forwarded from a store *younger* than this
+        one that fully covered it (its data cannot be stale).
+        """
+        s_addr, s_size, s_seq = store.addr, store.size, store.seq
+        for load in self.lq.ring:
+            if (
+                load.seq > s_seq
+                and load.issue_cycle >= 0
+                and load.state != InstrState.COMMITTED
+                and overlap(s_addr, s_size, load.addr, load.size)
+                and load.true_violation_store < 0
+            ):
+                if load.forward_store_seq > s_seq:
+                    fwd = self._find_sq_entry(load.forward_store_seq)
+                    if fwd is not None and contains(fwd.addr, fwd.size, load.addr, load.size):
+                        continue
+                load.true_violation_store = s_seq
+                load.true_violation_pc = store.uop.pc
+                self.counters.bump("groundtruth.violations")
+
+    def _find_sq_entry(self, seq: int) -> Optional[DynInstr]:
+        for store in self.sq.ring:
+            if store.seq == seq:
+                return store
+        return None
+
+    def _try_issue_load(self, load: DynInstr, ports_left: int, deferred: List[DynInstr]):
+        """Attempt to issue one load; returns (issued?, ports_left)."""
+        if load.trace_idx in self._force_nonspec and self.sq.oldest_unresolved_seq() is not None:
+            # Livelock guard: after repeated replays this load waits until
+            # every older store has resolved (it then issues as a safe load).
+            self._retries[self.cycle + 1].append(load)
+            return False, ports_left
+        if self.storesets is not None:
+            blocker = self.storesets.blocking_store(load.uop.pc, load.seq)
+            if blocker is not None:
+                # Predicted dependent on an in-flight unresolved store: wait.
+                self.counters.bump("storesets.load_delays")
+                self._retries[self.cycle + 2].append(load)
+                return False, ports_left
+        if ports_left <= 0:
+            deferred.append(load)
+            return False, ports_left
+        if not self.fus.try_acquire(InstrClass.LOAD):
+            deferred.append(load)
+            return False, ports_left
+
+        # Section 3 extension: a load older than every in-flight store can
+        # skip the SQ search (tracked by an oldest-store-age register).
+        sq_oldest = self.sq.oldest_seq()
+        if self.config.scheme.sq_filter and (sq_oldest is None or load.seq < sq_oldest):
+            self.counters.bump("sq.searches_filtered_age")
+            self.sq.searches_filtered += 1
+            result_action = ForwardAction.CACHE
+            all_older_resolved = True
+            fwd_store = None
+        else:
+            result = self.sq.search_for_forwarding(load)
+            self.counters.bump("sq.searches")
+            result_action = result.action
+            all_older_resolved = result.all_older_resolved
+            fwd_store = result.store
+
+        if result_action == ForwardAction.REJECT:
+            load.rejections += 1
+            self.counters.bump("load.rejections")
+            if self.tracer is not None:
+                self.tracer.record("reject", load, self.cycle)
+            self._retries[self.cycle + self.config.reject_retry_delay].append(load)
+            return True, ports_left  # consumed bandwidth this cycle
+
+        load.state = InstrState.ISSUED
+        load.issue_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.record("issue", load, self.cycle)
+        self._free_iq_entry(load)
+        self.counters.bump("issue.loads")
+        self.counters.bump("regfile.reads", len(load.uop.srcs))
+        load.speculative_issue = not all_older_resolved
+        load.safe = all_older_resolved
+        if load.trace_idx in self._force_nonspec and all_older_resolved:
+            # Guard-tripped loads issued with every older store resolved are
+            # provably violation-free; they bypass commit-time checking even
+            # when the safe-load optimisation is disabled (ablation), which
+            # guarantees forward progress.
+            load.guard_bypass = True
+        if load.safe:
+            self.counters.bump("load.safe_at_issue")
+        self.wrongpath.observe_address(load.addr)
+        self.invalidations.observe(load.addr)
+
+        if result_action == ForwardAction.FORWARD:
+            load.forward_store_seq = fwd_store.seq
+            self.counters.bump("load.forwarded")
+            latency = 1 + self.config.l1d_latency
+        else:
+            ports_left -= 1
+            self.counters.bump("dcache.reads")
+            latency = 1 + self.memory.read(load.addr)
+        self._completions[self.cycle + latency].append(load)
+
+        victim = self.scheme.on_load_issue(load, self.cycle)
+        if victim is not None and not victim.squashed:
+            self.counters.bump("replays")
+            self.counters.bump("replays.coherence")
+            self._squash_from(victim)
+        return True, ports_left
+
+    # ==================================================================
+    # Dispatch (rename + allocate)
+    # ==================================================================
+    def _stage_dispatch(self) -> None:
+        dispatched = 0
+        cfg = self.config
+        while self.fetch_buffer and dispatched < cfg.width:
+            instr = self.fetch_buffer[0]
+            if self.cycle < instr.fetch_cycle + cfg.decode_latency:
+                break
+            uop = instr.uop
+            if self.rob.full:
+                self.counters.bump("stall.rob_full")
+                break
+            if instr.fp_side:
+                if self.iq_fp_count >= cfg.iq_fp:
+                    self.counters.bump("stall.iq_full")
+                    break
+            elif self.iq_int_count >= cfg.iq_int:
+                self.counters.bump("stall.iq_full")
+                break
+            if instr.is_load and self.lq.full:
+                self.counters.bump("stall.lq_full")
+                break
+            if instr.is_store and self.sq.full:
+                self.counters.bump("stall.sq_full")
+                break
+            if uop.dst is not None:
+                regs = self.regs_fp if uop.dst >= 32 else self.regs_int
+                if not regs.try_allocate():
+                    self.counters.bump("stall.regs_full")
+                    break
+
+            self.fetch_buffer.popleft()
+            instr.dispatch_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.record("dispatch", instr, self.cycle)
+            self.rob.push(instr)
+            instr.in_iq = True
+            if instr.fp_side:
+                self.iq_fp_count += 1
+            else:
+                self.iq_int_count += 1
+            if instr.is_load:
+                self.lq.allocate(instr)
+                self.counters.bump("lq.writes")
+            elif instr.is_store:
+                self.sq.allocate(instr)
+                self.counters.bump("sq.writes")
+                if self.storesets is not None:
+                    self.storesets.store_dispatched(uop.pc, instr.seq)
+            self._wire_dependences(instr)
+            if uop.dst is not None:
+                self.rename[uop.dst] = instr
+            self.counters.bump("rename.ops")
+            self.counters.bump("rob.writes")
+            if instr.pending_ops == 0:
+                instr.state = InstrState.READY
+                heapq.heappush(self._ready, (instr.seq, instr))
+            dispatched += 1
+
+    def _wire_dependences(self, instr: DynInstr) -> None:
+        uop = instr.uop
+        for reg in uop.srcs:
+            producer = self.rename.get(reg)
+            if producer is not None and producer.state.value < InstrState.COMPLETED.value:
+                producer.consumers.append((instr, "op"))
+                instr.pending_ops += 1
+        if uop.data_src is not None:
+            producer = self.rename.get(uop.data_src)
+            if producer is not None and producer.state.value < InstrState.COMPLETED.value:
+                producer.consumers.append((instr, "data"))
+                instr.pending_data += 1
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+    def _stage_fetch(self) -> None:
+        cfg = self.config
+        if self.fetch_blocked_branch is not None or self.cycle < self.fetch_resume_cycle:
+            self.counters.bump("fetch.stall_cycles")
+            return
+        fetched = 0
+        while (
+            fetched < cfg.width
+            and len(self.fetch_buffer) < cfg.fetch_buffer
+            and self.fetch_idx < len(self.trace)
+        ):
+            uop = self.trace[self.fetch_idx]
+            line = uop.pc >> 6
+            if line != self._last_fetch_line:
+                self.counters.bump("icache.reads")
+                lat = self.memory.fetch(uop.pc)
+                self._last_fetch_line = line
+                if lat > cfg.l1i_latency:
+                    # I-cache miss: the line arrives later; retry then.
+                    self.fetch_resume_cycle = self.cycle + lat
+                    self.counters.bump("fetch.icache_miss")
+                    return
+            instr = DynInstr(uop, self.fetch_idx, self.next_seq, uses_fp_queue(uop.cls, uop.dst))
+            self.next_seq += 1
+            instr.fetch_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.record("fetch", instr, self.cycle)
+            self.fetch_buffer.append(instr)
+            self.fetch_idx += 1
+            fetched += 1
+            self.counters.bump("fetch.instructions")
+            if uop.is_branch:
+                predicted_taken, snapshot = self.predictor.predict(uop.pc)
+                instr.pred_snapshot = snapshot
+                self.counters.bump("bpred.lookups")
+                mispredicted = predicted_taken != uop.taken
+                instr.mispredicted = mispredicted
+                if mispredicted:
+                    # Stall-on-mispredict: fetch halts until resolution.
+                    # Wrong-path loads issue during the shadow and corrupt
+                    # the YLA registers now; recovery repairs them when the
+                    # branch resolves (the paper's reset remedy).  Stores
+                    # resolving inside the shadow see the corrupted YLA.
+                    self.fetch_blocked_branch = instr
+                    for age, addr in self.wrongpath.loads_for_mispredict(instr.seq):
+                        self.scheme.on_wrongpath_load(age, addr)
+                    return
+                if predicted_taken and self.predictor.btb.lookup(uop.pc) is None:
+                    # Misfetch: direction right but no target until decode —
+                    # a short front-end bubble, not a full resolution stall.
+                    self.counters.bump("branch.misfetches")
+                    self.fetch_resume_cycle = self.cycle + 2
+                    return
+                if uop.taken:
+                    # Correctly predicted taken branch ends the fetch group.
+                    return
+
+    # ==================================================================
+    # Squash / replay
+    # ==================================================================
+    def _squash_from(self, instr: DynInstr) -> None:
+        """Squash ``instr`` and everything younger; refetch from its slot."""
+        self._squashed_this_cycle = True
+        boundary = instr.seq
+        if self.storesets is not None:
+            if instr.is_load and instr.true_violation_pc >= 0:
+                self.storesets.record_violation(instr.uop.pc, instr.true_violation_pc)
+            self.storesets.squash(boundary - 1)
+        self.fetch_idx = instr.trace_idx
+        self._last_fetch_line = -1
+        for buffered in self.fetch_buffer:
+            buffered.state = InstrState.SQUASHED
+        self.fetch_buffer.clear()
+        squashed = self.rob.squash_younger(lambda e: e.seq < boundary)
+        squashed_loads: List[DynInstr] = []
+        for victim in squashed:
+            victim.state = InstrState.SQUASHED
+            if self.tracer is not None:
+                self.tracer.record("squash", victim, self.cycle)
+            self._free_iq_entry(victim)
+            if victim.uop.dst is not None:
+                (self.regs_fp if victim.uop.dst >= 32 else self.regs_int).release()
+            if victim.is_load and victim.issue_cycle >= 0:
+                squashed_loads.append(victim)
+            self.counters.bump("squash.instructions")
+        self.lq.squash_younger(boundary - 1)
+        self.sq.squash_younger(boundary - 1)
+        self.rename.clear()
+        for survivor in self.rob:
+            if survivor.uop.dst is not None:
+                self.rename[survivor.uop.dst] = survivor
+        self.scheme.on_squash(boundary - 1, squashed_loads)
+        if self.fetch_blocked_branch is not None and self.fetch_blocked_branch.squashed:
+            self.fetch_blocked_branch = None
+        self.fetch_resume_cycle = self.cycle + self.config.replay_penalty
+        streak = self._replay_streak.get(instr.trace_idx, 0) + 1
+        self._replay_streak[instr.trace_idx] = streak
+        if streak >= self.config.replay_guard:
+            self._force_nonspec.add(instr.trace_idx)
+            self.counters.bump("replay.guard_trips")
+
+    # ==================================================================
+    # Coherence traffic injection
+    # ==================================================================
+    def _inject_invalidations(self) -> None:
+        line = self.invalidations.maybe_invalidate()
+        if line is None:
+            return
+        self.counters.bump("inv.injected")
+        self.memory.invalidate(line)
+        head = self.rob.head()
+        oldest = head.seq if head is not None else self.next_seq
+        self.scheme.on_invalidation(line, self.config.l2_line_bytes, self.cycle, oldest)
+
+    # ==================================================================
+    # Results
+    # ==================================================================
+    def _build_result(self) -> SimulationResult:
+        self.counters["cycles"] = self.cycle
+        self.counters["checking.cycles_observed"] = self._checking_cycles
+        self.counters["lq.searches_assoc"] = self.lq.searches
+        self.counters["lq.searches_filtered"] = self.lq.searches_filtered
+        self.counters["lq.inv_searches"] = self.lq.inv_searches
+        self.counters["sq.searches_assoc"] = self.sq.searches
+        self.counters["bpred.mispredicts"] = self.predictor.mispredictions
+        self.counters["wrongpath.loads"] = self.wrongpath.injected
+        if self.storesets is not None:
+            self.counters["storesets.violations_recorded"] = self.storesets.violations_recorded
+            self.counters["storesets.merges"] = self.storesets.merges
+        self.counters["dcache.accesses"] = self.memory.l1d.accesses
+        self.counters["dcache.misses"] = self.memory.l1d.misses
+        self.counters["icache.accesses"] = self.memory.l1i.accesses
+        self.counters["icache.misses"] = self.memory.l1i.misses
+        self.counters["l2.accesses"] = self.memory.l2.accesses
+        self.counters["l2.misses"] = self.memory.l2.misses
+        self.scheme.collect()
+        self.counters.merge(self.scheme.stats)
+        return SimulationResult(
+            workload=self.trace.name,
+            group=self.trace.group,
+            config_name=self.config.name,
+            scheme_name=self.scheme.name,
+            cycles=self.cycle,
+            committed=self.committed,
+            counters=self.counters,
+            window_instrs=self.scheme.window_instrs,
+            window_loads=self.scheme.window_loads,
+            window_safe_loads=self.scheme.window_safe_loads,
+            window_unsafe_stores=self.scheme.window_unsafe_stores,
+        )

@@ -1,0 +1,67 @@
+"""Convenience entry points for running one workload on one machine."""
+
+import os
+from typing import Optional
+
+from repro.isa.trace import Trace, validate_trace
+from repro.sim.config import MachineConfig
+from repro.sim.processor import Processor
+from repro.sim.result import SimulationResult
+
+#: Environment variable scaling every experiment's instruction budget.
+INSTRUCTIONS_ENV = "REPRO_INSTRUCTIONS"
+DEFAULT_INSTRUCTIONS = 12_000
+
+
+def instruction_budget(default: Optional[int] = None) -> int:
+    """Per-run committed-instruction budget for experiments.
+
+    The paper simulates 100M-instruction SimPoints; a pure-Python model
+    cannot, so experiments default to a budget that keeps the full harness
+    in CI-friendly time while past the warm-up transient.  Set
+    ``REPRO_INSTRUCTIONS`` to scale every experiment up or down at once.
+    """
+    value = os.environ.get(INSTRUCTIONS_ENV)
+    if value:
+        return max(1_000, int(value))
+    return default if default is not None else DEFAULT_INSTRUCTIONS
+
+
+def run_trace(
+    config: MachineConfig,
+    trace: Trace,
+    max_instructions: Optional[int] = None,
+    seed: int = 1,
+    validate: bool = False,
+    prewarm: bool = True,
+) -> SimulationResult:
+    """Run ``trace`` to completion (or budget) on ``config``.
+
+    ``prewarm`` functionally warms the front end (I-cache, predictor) so a
+    short run measures steady-state behaviour; see
+    :meth:`Processor.prewarm`.
+    """
+    if validate:
+        validate_trace(trace)
+    budget = max_instructions if max_instructions is not None else len(trace)
+    processor = Processor(config, trace, seed=seed)
+    if prewarm:
+        processor.prewarm()
+    return processor.run(budget)
+
+
+def run_workload(
+    config: MachineConfig,
+    workload,
+    max_instructions: Optional[int] = None,
+    seed: int = 1,
+) -> SimulationResult:
+    """Generate a workload's trace and run it.
+
+    ``workload`` is any object with ``generate(num_instructions) -> Trace``
+    (see :mod:`repro.workloads`).  The trace is generated slightly longer
+    than the budget so the pipeline never starves at the trace tail.
+    """
+    budget = max_instructions if max_instructions is not None else instruction_budget()
+    trace = workload.generate(budget + 2_000)
+    return run_trace(config, trace, max_instructions=budget, seed=seed)

@@ -1,0 +1,71 @@
+"""A fixed-capacity FIFO ring buffer.
+
+Models age-ordered hardware queues (ROB, LQ, SQ, fetch buffer): allocation
+at the tail, retirement at the head, and squash-from-the-tail on recovery.
+Entries are arbitrary Python objects; age order is the insertion order.
+"""
+
+from typing import Iterator, List, Optional
+
+
+class RingBuffer:
+    """Bounded FIFO with tail-side truncation for squash support."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: List = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        """Iterate oldest to youngest."""
+        return iter(self._items)
+
+    def __getitem__(self, idx):
+        return self._items[idx]
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def head(self) -> Optional[object]:
+        """Oldest entry, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def tail(self) -> Optional[object]:
+        """Youngest entry, or None when empty."""
+        return self._items[-1] if self._items else None
+
+    def push(self, item) -> None:
+        """Allocate ``item`` at the tail; raises when full."""
+        if self.full:
+            raise OverflowError("ring buffer full")
+        self._items.append(item)
+
+    def pop(self):
+        """Retire and return the oldest entry; raises when empty."""
+        if not self._items:
+            raise IndexError("ring buffer empty")
+        return self._items.pop(0)
+
+    def squash_younger(self, keep) -> List:
+        """Drop entries from the tail while ``keep(entry)`` is False.
+
+        Returns the squashed entries (youngest last).  Models recovery: all
+        queue entries younger than the recovery point are discarded.
+        """
+        squashed = []
+        while self._items and not keep(self._items[-1]):
+            squashed.append(self._items.pop())
+        squashed.reverse()
+        return squashed
+
+    def clear(self) -> None:
+        self._items.clear()

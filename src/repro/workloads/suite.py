@@ -1,0 +1,180 @@
+"""The 26-benchmark synthetic stand-in suite for SPEC CPU2000.
+
+Each entry mirrors the qualitative character of its namesake: working-set
+size, access patterns, branch behaviour, pointer intensity (which controls
+how late store addresses resolve — the property YLA filtering keys on),
+and floating-point content.  Parameters are hand-set from the benchmarks'
+well-known characterisations; they are behavioural stand-ins, not
+measurements of the originals.
+"""
+
+import zlib
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+
+_P = dict  # shorthand for pattern/profile dicts
+
+
+def _spec(name, group, **kw) -> WorkloadSpec:
+    # crc32, not hash(): the per-process randomisation of str hashing would
+    # silently break run-to-run determinism.
+    return WorkloadSpec(name=name, group=group, seed=zlib.crc32(name.encode()) % 100_000, **kw)
+
+
+_INT_COMMON = dict(
+    index_mul_fraction=0.40,
+    store_revisit=0.30,
+)
+
+
+def _ispec(name, **kw) -> WorkloadSpec:
+    merged = dict(_INT_COMMON)
+    merged.update(kw)
+    return _spec(name, "INT", **merged)
+
+
+_INT_SPECS: List[WorkloadSpec] = [
+    # Compression: small working set, streaming + random table lookups.
+    _ispec("gzip", working_set_kb=192, store_addr_dep_load=0.03, store_addr_dep_alu=0.58,
+          pattern_weights=_P(stream=0.45, strided=0.1, random=0.4, chase=0.05),
+          branch_bias=0.93, branch_profile=_P(loop=0.55, biased=0.35, correlated=0.1)),
+    # Place-and-route: pointer-heavy graph walking.
+    _ispec("vpr", working_set_kb=768, store_addr_dep_load=0.05, store_addr_dep_alu=0.58,
+          pattern_weights=_P(stream=0.2, strided=0.1, random=0.4, chase=0.3),
+          branch_bias=0.90, rmw_fraction=0.12),
+    # Compiler: large code footprint, branchy, mixed access.
+    _ispec("gcc", working_set_kb=1024, code_footprint_kb=96,
+          store_addr_dep_load=0.05, store_addr_dep_alu=0.58, branch_fraction=0.17,
+          pattern_weights=_P(stream=0.25, strided=0.15, random=0.35, chase=0.25),
+          branch_profile=_P(loop=0.35, biased=0.45, correlated=0.2), branch_bias=0.89),
+    # mcf: notorious pointer chaser with a huge working set.
+    _ispec("mcf", working_set_kb=8192, store_addr_dep_load=0.12, store_addr_dep_alu=0.55,
+          pattern_weights=_P(stream=0.1, strided=0.05, random=0.35, chase=0.5),
+          load_fraction=0.30, branch_bias=0.89, muldiv_fraction=0.02),
+    # Chess: branchy search with small tables.
+    _ispec("crafty", working_set_kb=256, store_addr_dep_load=0.04, store_addr_dep_alu=0.58,
+          branch_fraction=0.18, branch_bias=0.91,
+          branch_profile=_P(loop=0.3, biased=0.5, correlated=0.2),
+          pattern_weights=_P(stream=0.25, strided=0.15, random=0.5, chase=0.1)),
+    # Parser: dictionary lookups, pointer lists.
+    _ispec("parser", working_set_kb=512, store_addr_dep_load=0.07, store_addr_dep_alu=0.58,
+          pattern_weights=_P(stream=0.2, strided=0.1, random=0.4, chase=0.3),
+          branch_fraction=0.16, branch_bias=0.90, rmw_fraction=0.1),
+    # eon: C++ ray tracer; some FP, predictable loops.
+    _ispec("eon", working_set_kb=128, fp_fraction=0.2, fp_load_fraction=0.15,
+          store_addr_dep_load=0.02, store_addr_dep_alu=0.45, branch_bias=0.94,
+          pattern_weights=_P(stream=0.45, strided=0.2, random=0.3, chase=0.05)),
+    # perlbmk: interpreter — big code, indirect-ish branches.
+    _ispec("perlbmk", working_set_kb=512, code_footprint_kb=112,
+          store_addr_dep_load=0.05, store_addr_dep_alu=0.56, branch_fraction=0.18,
+          branch_profile=_P(loop=0.3, biased=0.5, correlated=0.2), branch_bias=0.88,
+          pattern_weights=_P(stream=0.25, strided=0.1, random=0.4, chase=0.25)),
+    # gap: group theory — integer math heavy.
+    _ispec("gap", working_set_kb=1024, store_addr_dep_load=0.04, store_addr_dep_alu=0.55,
+          muldiv_fraction=0.08, branch_bias=0.92,
+          pattern_weights=_P(stream=0.35, strided=0.15, random=0.35, chase=0.15)),
+    # vortex: object database — pointer structures, stores everywhere.
+    _ispec("vortex", working_set_kb=1536, store_fraction=0.15,
+          store_addr_dep_load=0.07, store_addr_dep_alu=0.60, code_footprint_kb=80,
+          pattern_weights=_P(stream=0.2, strided=0.1, random=0.4, chase=0.3),
+          branch_bias=0.91),
+    # bzip2: compression — streaming with random histogram updates.
+    _ispec("bzip2", working_set_kb=384, store_addr_dep_load=0.03, store_addr_dep_alu=0.52,
+          rmw_fraction=0.15,
+          pattern_weights=_P(stream=0.5, strided=0.1, random=0.35, chase=0.05),
+          branch_bias=0.92),
+    # twolf: placement — pointer graphs, small structures.
+    _ispec("twolf", working_set_kb=640, store_addr_dep_load=0.08, store_addr_dep_alu=0.58,
+          pattern_weights=_P(stream=0.15, strided=0.15, random=0.4, chase=0.3),
+          branch_fraction=0.16, branch_bias=0.90),
+]
+
+_FP_COMMON = dict(
+    branch_fraction=0.07,
+    branch_bias=0.96,
+    branch_profile=_P(loop=0.8, biased=0.1, correlated=0.1),
+    loop_period=24,
+    fp_fraction=0.6,
+    fp_load_fraction=0.65,
+    store_addr_dep_load=0.006,
+    store_addr_dep_alu=0.42,
+    load_addr_dep_alu=0.50,
+    index_mul_fraction=0.30,
+    store_data_slow=0.6,
+    muldiv_fraction=0.12,
+    rmw_fraction=0.04,
+    store_revisit=0.05,
+)
+
+
+def _fspec(name, **kw) -> WorkloadSpec:
+    merged = dict(_FP_COMMON)
+    merged.update(kw)
+    return _spec(name, "FP", **merged)
+
+
+_FP_SPECS: List[WorkloadSpec] = [
+    _fspec("wupwise", working_set_kb=2048,
+           pattern_weights=_P(stream=0.6, strided=0.25, random=0.15, chase=0.0)),
+    # swim: pure stencil streaming over big grids.
+    _fspec("swim", working_set_kb=6144, load_fraction=0.30, store_fraction=0.12,
+           pattern_weights=_P(stream=0.75, strided=0.2, random=0.05, chase=0.0)),
+    _fspec("mgrid", working_set_kb=4096, load_fraction=0.32,
+           pattern_weights=_P(stream=0.6, strided=0.35, random=0.05, chase=0.0)),
+    _fspec("applu", working_set_kb=3072,
+           pattern_weights=_P(stream=0.55, strided=0.35, random=0.1, chase=0.0)),
+    # mesa: 3D rendering in software — more integer/control than most FP.
+    _fspec("mesa", working_set_kb=512, fp_fraction=0.45, branch_fraction=0.12,
+           branch_bias=0.94, store_addr_dep_load=0.012, store_addr_dep_alu=0.52,
+           pattern_weights=_P(stream=0.45, strided=0.2, random=0.3, chase=0.05)),
+    _fspec("galgel", working_set_kb=1024, muldiv_fraction=0.16,
+           pattern_weights=_P(stream=0.55, strided=0.3, random=0.15, chase=0.0)),
+    # art: neural net — small working set hammered with streams.
+    _fspec("art", working_set_kb=256, load_fraction=0.34,
+           pattern_weights=_P(stream=0.7, strided=0.15, random=0.15, chase=0.0)),
+    # equake: sparse solver — indexed (gather) accesses.
+    _fspec("equake", working_set_kb=2560, store_addr_dep_load=0.02, store_addr_dep_alu=0.58,
+           pattern_weights=_P(stream=0.4, strided=0.2, random=0.35, chase=0.05)),
+    _fspec("facerec", working_set_kb=1024,
+           pattern_weights=_P(stream=0.55, strided=0.25, random=0.2, chase=0.0)),
+    # ammp: molecular dynamics — neighbour lists (some chasing).
+    _fspec("ammp", working_set_kb=2048, store_addr_dep_load=0.015, store_addr_dep_alu=0.58,
+           pattern_weights=_P(stream=0.35, strided=0.2, random=0.35, chase=0.1)),
+    _fspec("lucas", working_set_kb=4096, muldiv_fraction=0.2,
+           pattern_weights=_P(stream=0.65, strided=0.25, random=0.1, chase=0.0)),
+    _fspec("fma3d", working_set_kb=3072, branch_fraction=0.09,
+           pattern_weights=_P(stream=0.5, strided=0.3, random=0.2, chase=0.0)),
+    # sixtrack: particle tracking — long FP chains, tiny working set.
+    _fspec("sixtrack", working_set_kb=192, muldiv_fraction=0.18,
+           pattern_weights=_P(stream=0.6, strided=0.25, random=0.15, chase=0.0)),
+    _fspec("apsi", working_set_kb=1536,
+           pattern_weights=_P(stream=0.5, strided=0.3, random=0.2, chase=0.0)),
+]
+
+#: All 26 workloads, keyed by name.
+SUITE: Dict[str, SyntheticWorkload] = {
+    spec.name: SyntheticWorkload(spec) for spec in _INT_SPECS + _FP_SPECS
+}
+
+INT_WORKLOADS: List[str] = [s.name for s in _INT_SPECS]
+FP_WORKLOADS: List[str] = [s.name for s in _FP_SPECS]
+
+
+def get_workload(name: str) -> SyntheticWorkload:
+    """Look up one suite workload by SPEC name."""
+    try:
+        return SUITE[name]
+    except KeyError:
+        raise ConfigError(f"unknown workload {name!r}; choices: {sorted(SUITE)}") from None
+
+
+def group_of(name: str) -> str:
+    """Reporting group (INT/FP) of a suite workload."""
+    return get_workload(name).group
+
+
+def suite_subset(per_group: int) -> List[str]:
+    """First ``per_group`` workloads of each group (fast experiment mode)."""
+    return INT_WORKLOADS[:per_group] + FP_WORKLOADS[:per_group]

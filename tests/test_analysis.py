@@ -1,0 +1,84 @@
+"""Tests for post-run analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    Comparison,
+    compare_results,
+    counter_diff,
+    outliers,
+    per_workload_table,
+    speedup_summary,
+)
+from repro.sim.result import SimulationResult
+from repro.stats.counters import CounterSet
+
+
+def mk(name, group="INT", cycles=1000, committed=500, **counters):
+    c = CounterSet()
+    for key, value in counters.items():
+        c[key.replace("__", ".")] = value
+    return SimulationResult(name, group, "cfg", "scheme", cycles, committed, c)
+
+
+class TestComparison:
+    def test_ratio_and_delta(self):
+        c = Comparison("w", baseline=200.0, candidate=150.0)
+        assert c.ratio == pytest.approx(0.75)
+        assert c.delta_pct == pytest.approx(-25.0)
+
+    def test_zero_baseline(self):
+        assert Comparison("w", 0.0, 5.0).ratio == float("inf")
+
+    def test_compare_results_intersects(self):
+        base = {"a": mk("a", cycles=100), "b": mk("b", cycles=100)}
+        cand = {"a": mk("a", cycles=90)}
+        comps = compare_results(base, cand, lambda r: float(r.cycles))
+        assert len(comps) == 1 and comps[0].workload == "a"
+        assert comps[0].ratio == pytest.approx(0.9)
+
+
+class TestSpeedup:
+    def test_geomean_per_group(self):
+        base = {"a": mk("a", cycles=100), "b": mk("b", cycles=400),
+                "f": mk("f", group="FP", cycles=100)}
+        cand = {"a": mk("a", cycles=50), "b": mk("b", cycles=200),
+                "f": mk("f", group="FP", cycles=100)}
+        out = speedup_summary(base, cand)
+        assert out["INT"] == pytest.approx(2.0)
+        assert out["FP"] == pytest.approx(1.0)
+
+
+class TestCounterDiff:
+    def test_reports_large_changes_sorted(self):
+        a = mk("a", x=100, y=100, z=0)
+        b = mk("a", x=101, y=300, z=50)
+        rows = counter_diff(a, b, min_relative=0.05)
+        names = [r[0] for r in rows]
+        assert "y" in names and "z" in names and "x" not in names
+        assert names[0] == "z"  # 100% relative change sorts first
+
+    def test_identical_runs_empty(self):
+        a = mk("a", x=10)
+        assert counter_diff(a, a) == []
+
+
+class TestTables:
+    def test_per_workload_table_renders(self):
+        results = {"gzip": mk("gzip", commit__loads=10),
+                   "swim": mk("swim", group="FP")}
+        text = per_workload_table(results)
+        assert "gzip" in text and "swim" in text and "IPC" in text
+
+    def test_custom_metrics(self):
+        results = {"a": mk("a", cycles=123)}
+        text = per_workload_table(results, metrics={"cyc": lambda r: r.cycles})
+        assert "123.00" in text and "cyc" in text
+
+
+class TestOutliers:
+    def test_high_and_low(self):
+        results = {f"w{i}": mk(f"w{i}", cycles=100 * (i + 1)) for i in range(6)}
+        out = outliers(results, lambda r: float(r.cycles), k=2)
+        assert [n for n, _ in out["lowest"]] == ["w0", "w1"]
+        assert [n for n, _ in out["highest"]] == ["w5", "w4"]

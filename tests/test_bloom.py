@@ -1,0 +1,91 @@
+"""Unit and property tests for the counting Bloom filter (Figure 3 baseline)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bloom import CountingBloomFilter
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_empty_filters_everything(self):
+        bf = CountingBloomFilter(64)
+        assert not bf.may_contain(0x100)
+        assert bf.hits == 1 and bf.probes == 1
+
+    def test_insert_makes_present(self):
+        bf = CountingBloomFilter(64)
+        bf.insert(0x100)
+        assert bf.may_contain(0x100)
+
+    def test_remove_restores(self):
+        bf = CountingBloomFilter(64)
+        bf.insert(0x100)
+        bf.remove(0x100)
+        assert not bf.may_contain(0x100)
+
+    def test_counting_handles_duplicates(self):
+        bf = CountingBloomFilter(64)
+        bf.insert(0x100)
+        bf.insert(0x100)
+        bf.remove(0x100)
+        assert bf.may_contain(0x100)  # one copy still in flight
+
+    def test_same_quadword_aliases(self):
+        bf = CountingBloomFilter(64)
+        bf.insert(0x100)
+        assert bf.may_contain(0x104)  # same quad word
+
+    def test_filter_rate(self):
+        bf = CountingBloomFilter(64)
+        bf.insert(0x100)
+        bf.may_contain(0x100)
+        bf.may_contain(0x100 + 8)
+        assert 0.0 < bf.filter_rate <= 1.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            CountingBloomFilter(100)
+
+    def test_remove_on_empty_is_noop(self):
+        bf = CountingBloomFilter(64)
+        bf.remove(0x100)
+        assert not bf.may_contain(0x100)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 1 << 20).map(lambda x: x * 8), max_size=100),
+           st.sampled_from([32, 64, 256]))
+    def test_no_false_negatives(self, addrs, size):
+        """Every in-flight inserted address must probe as present."""
+        bf = CountingBloomFilter(size)
+        for addr in addrs:
+            bf.insert(addr)
+        for addr in addrs:
+            assert bf.may_contain(addr)
+
+    @given(st.lists(st.integers(0, 1 << 16).map(lambda x: x * 8),
+                    min_size=1, max_size=60))
+    def test_insert_remove_all_returns_to_empty(self, addrs):
+        bf = CountingBloomFilter(128)
+        for addr in addrs:
+            bf.insert(addr)
+        for addr in addrs:
+            bf.remove(addr)
+        for addr in addrs:
+            assert not bf.may_contain(addr)
+
+    def test_larger_filters_alias_less(self):
+        """Bigger tables should not be worse at rejecting absent keys."""
+        addrs = [i * 8 for i in range(64)]
+        rates = []
+        for size in (32, 1024):
+            bf = CountingBloomFilter(size)
+            for a in addrs:
+                bf.insert(a)
+            false_hits = sum(
+                bf.may_contain(a) for a in range(1 << 16, (1 << 16) + 8 * 200, 8)
+            )
+            rates.append(false_hits)
+        assert rates[1] <= rates[0]

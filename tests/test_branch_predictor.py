@@ -1,0 +1,127 @@
+"""Unit tests for the combined branch predictor and BTB."""
+
+from repro.frontend.branch_predictor import (
+    Bimodal,
+    BranchTargetBuffer,
+    CombinedPredictor,
+    Gshare,
+)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        b = Bimodal(64)
+        for _ in range(4):
+            b.update(0x100, True)
+        assert b.predict(0x100)
+        for _ in range(4):
+            b.update(0x100, False)
+        assert not b.predict(0x100)
+
+    def test_counters_saturate(self):
+        b = Bimodal(64)
+        for _ in range(100):
+            b.update(0x100, True)
+        b.update(0x100, False)
+        assert b.predict(0x100)  # one miss doesn't flip a saturated counter
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """Bimodal can't learn strict alternation; gshare history can."""
+        g = Gshare(1024, history_bits=8)
+        outcome = True
+        correct = 0
+        for i in range(400):
+            hist = g.history
+            pred = g.predict(0x200)
+            g.push_history(outcome)
+            g.update(0x200, outcome, hist)
+            if i >= 200:
+                correct += int(pred == outcome)
+            outcome = not outcome
+        assert correct / 200 > 0.95
+
+    def test_history_repair(self):
+        g = Gshare(256, history_bits=4)
+        g.set_history(0b1010)
+        assert g.history == 0b1010
+        g.push_history(True)
+        assert g.history == 0b0101
+
+
+class TestBTB:
+    def test_install_lookup(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x100) is None
+        btb.install(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_update_existing(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.install(0x100, 0x500)
+        btb.install(0x100, 0x600)
+        assert btb.lookup(0x100) == 0x600
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        # Three branches mapping to the same set (pc bits [4:2] select set).
+        pcs = [0x10, 0x10 + 4 * 4, 0x10 + 8 * 4]
+        set_idx = lambda pc: (pc >> 2) & 3
+        assert len({set_idx(pc) for pc in pcs}) == 1
+        btb.install(pcs[0], 1)
+        btb.install(pcs[1], 2)
+        btb.lookup(pcs[0])          # touch: pcs[0] becomes MRU
+        btb.install(pcs[2], 3)      # evicts pcs[1]
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+    def test_hit_miss_counters(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.lookup(0x100)
+        btb.install(0x100, 1)
+        btb.lookup(0x100)
+        assert btb.misses == 1 and btb.hits == 1
+
+
+class TestCombined:
+    def test_learns_strong_bias(self):
+        p = CombinedPredictor(bimodal_entries=256, gshare_entries=256,
+                              history_bits=6, meta_entries=256,
+                              btb_entries=64, btb_assoc=4)
+        mispredicts = 0
+        for i in range(400):
+            taken = True
+            pred, snap = p.predict(0x300)
+            if p.resolve(0x300, taken, snap) and i > 50:
+                mispredicts += 1
+        assert mispredicts == 0
+
+    def test_meta_prefers_gshare_on_patterns(self):
+        p = CombinedPredictor(bimodal_entries=64, gshare_entries=1024,
+                              history_bits=8, meta_entries=64,
+                              btb_entries=64, btb_assoc=4)
+        outcome = True
+        correct = 0
+        for i in range(600):
+            pred, snap = p.predict(0x300)
+            p.resolve(0x300, outcome, snap)
+            if i >= 300:
+                correct += int(pred == outcome)
+            outcome = not outcome
+        assert correct / 300 > 0.9
+
+    def test_accuracy_property(self):
+        p = CombinedPredictor()
+        assert p.accuracy == 1.0
+        pred, snap = p.predict(0x40)
+        p.resolve(0x40, not pred, snap)
+        assert p.accuracy == 0.0
+
+    def test_history_repaired_on_mispredict(self):
+        p = CombinedPredictor(gshare_entries=256, history_bits=8)
+        pred, snap = p.predict(0x40)
+        actual = not pred
+        p.resolve(0x40, actual, snap)
+        expected = ((snap["history"] << 1) | int(actual)) & 0xFF
+        assert p.gshare.history == expected

@@ -1,0 +1,127 @@
+"""Unit tests for the cache and memory-hierarchy models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=2):
+    return Cache(CacheConfig("test", size, assoc, line, latency))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig("c", 32 * 1024, 2, 64, 2)
+        assert cfg.num_sets == 256
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1000, 2, 64, 2)  # not divisible
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 1024, 2, 48, 2)  # non-power-of-two line
+        with pytest.raises(ConfigError):
+            CacheConfig("c", 0, 2, 64, 2)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = small_cache(line=64)
+        c.access(0x100)
+        assert c.access(0x13F)  # same 64B line
+        assert not c.access(0x140)  # next line
+
+    def test_lru_eviction(self):
+        c = small_cache(size=256, assoc=2, line=64)  # 2 sets
+        # Three lines in the same set: conflict evicts the LRU one.
+        a, b, d = 0x000, 0x100, 0x200
+        c.access(a)
+        c.access(b)
+        c.access(a)       # a is MRU
+        c.access(d)       # evicts b
+        assert c.access(a)
+        assert not c.access(b)
+        assert c.evictions >= 1
+
+    def test_lookup_does_not_fill(self):
+        c = small_cache()
+        assert not c.lookup(0x100)
+        assert not c.access(0x100)  # still a miss: lookup didn't fill
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.access(0x100)
+        assert c.invalidate_line(0x120)  # same line
+        assert not c.access(0x100)       # miss again
+        assert not c.invalidate_line(0x4000)
+
+    def test_line_addr(self):
+        c = small_cache(line=64)
+        assert c.line_addr(0x1234) == 0x1200
+
+    def test_miss_rate(self):
+        c = small_cache()
+        assert c.miss_rate == 0.0
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == 0.5
+
+    @given(st.lists(st.integers(0, 1 << 20), max_size=300))
+    def test_set_occupancy_never_exceeds_assoc(self, addrs):
+        c = small_cache(size=512, assoc=2, line=64)
+        for addr in addrs:
+            c.access(addr)
+        for ways in c._sets.values():
+            assert len(ways) <= 2
+
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    def test_repeat_access_always_hits(self, addrs):
+        c = small_cache(size=64 * 1024, assoc=4, line=64)  # big enough: no evictions
+        for addr in addrs:
+            c.access(addr)
+        assert c.access(addrs[-1])
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy(
+            CacheConfig("l1i", 1024, 1, 64, 2),
+            CacheConfig("l1d", 1024, 2, 64, 2),
+            CacheConfig("l2", 16 * 1024, 4, 128, 15),
+            memory_latency=120,
+        )
+
+    def test_read_latency_tiers(self):
+        m = self.make()
+        assert m.read(0x100) == 2 + 15 + 120  # cold: through memory
+        assert m.read(0x100) == 2             # L1 hit
+        m.l1d.invalidate_line(0x100)
+        assert m.read(0x100) == 2 + 15        # L2 hit after L1 invalidate
+
+    def test_fetch_uses_l1i(self):
+        m = self.make()
+        m.fetch(0x400)
+        assert m.l1i.accesses == 1 and m.l1d.accesses == 0
+
+    def test_write_allocates(self):
+        m = self.make()
+        m.write(0x200)
+        assert m.read(0x200) == 2
+
+    def test_invalidate_both_levels(self):
+        m = self.make()
+        m.read(0x300)
+        m.invalidate(0x300)
+        assert m.read(0x300) == 2 + 15 + 120
+
+    def test_data_line_bytes(self):
+        assert self.make().data_line_bytes == 64

@@ -1,0 +1,58 @@
+"""Unit tests for the associative checking queue (Section 4.4)."""
+
+import pytest
+
+from repro.core.schemes.checking_queue import CheckingQueue
+from repro.errors import ConfigError
+
+
+class TestCheckingQueue:
+    def test_insert_and_match(self):
+        q = CheckingQueue(4)
+        assert q.insert(1, 0x100, 8)
+        assert q.check_load(0x100, 8) == 1
+        assert q.check_load(0x104, 4) == 1   # overlapping bytes
+
+    def test_no_match_for_disjoint(self):
+        q = CheckingQueue(4)
+        q.insert(1, 0x100, 8)
+        assert q.check_load(0x108, 8) is None
+
+    def test_exact_addresses_no_aliasing(self):
+        """Unlike the hash table, distinct addresses never collide."""
+        q = CheckingQueue(4)
+        q.insert(1, 0x100, 8)
+        for qw in range(2, 200):
+            assert q.check_load(qw * 0x100, 8) is None
+
+    def test_overflow_reported(self):
+        q = CheckingQueue(2)
+        assert q.insert(1, 0x100, 8)
+        assert q.insert(2, 0x200, 8)
+        assert not q.insert(3, 0x300, 8)
+        assert q.overflows == 1
+        assert q.occupancy == 2
+
+    def test_clear(self):
+        q = CheckingQueue(2)
+        q.insert(1, 0x100, 8)
+        q.clear()
+        assert q.occupancy == 0
+        assert q.check_load(0x100, 8) is None
+        assert q.clears == 1
+
+    def test_counters(self):
+        q = CheckingQueue(2)
+        q.insert(1, 0x100, 8)
+        q.check_load(0x100, 8)
+        assert q.writes == 1 and q.reads == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            CheckingQueue(0)
+
+    def test_partial_size_matching(self):
+        q = CheckingQueue(4)
+        q.insert(1, 0x100, 2)
+        assert q.check_load(0x100, 8) == 1
+        assert q.check_load(0x102, 2) is None

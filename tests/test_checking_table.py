@@ -1,0 +1,132 @@
+"""Unit tests for DMDC's checking table (Sections 4.2-4.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.checking_table import CheckingTable, granule_bitmap
+from repro.errors import ConfigError
+
+
+class TestGranuleBitmap:
+    def test_full_quadword(self):
+        assert granule_bitmap(0x100, 8) == 0xF
+
+    def test_word_halves(self):
+        assert granule_bitmap(0x100, 4) == 0b0011
+        assert granule_bitmap(0x104, 4) == 0b1100
+
+    def test_halfword(self):
+        assert granule_bitmap(0x102, 2) == 0b0010
+
+    def test_byte_rounds_to_granule(self):
+        assert granule_bitmap(0x101, 1) == 0b0001
+
+    @given(st.integers(0, 1 << 20), st.sampled_from([1, 2, 4, 8]))
+    def test_bitmap_nonzero_and_4bit(self, addr, size):
+        addr &= ~(size - 1)
+        bits = granule_bitmap(addr, size)
+        assert 0 < bits <= 0xF
+
+
+class TestWrtSemantics:
+    def test_mark_then_check_hits(self):
+        t = CheckingTable(256)
+        t.mark_store(0x100, 8)
+        assert t.check_load(0x100, 8) == CheckingTable.WRT_HIT
+
+    def test_disjoint_granules_do_not_collide(self):
+        """A narrow store and a narrow load to different halves of the same
+        quad word must not replay (Section 4.4 bitmap)."""
+        t = CheckingTable(256)
+        t.mark_store(0x100, 4)
+        assert t.check_load(0x104, 4) == CheckingTable.CLEAR
+        assert t.check_load(0x100, 4) == CheckingTable.WRT_HIT
+
+    def test_hash_conflict_hits(self):
+        t = CheckingTable(16)
+        t.mark_store(0x100, 8)
+        # find an aliasing quad word
+        alias = next(
+            qw * 8 for qw in range(1 << 12)
+            if qw * 8 != 0x100 and t.index(qw * 8) == t.index(0x100)
+        )
+        assert t.check_load(alias, 8) == CheckingTable.WRT_HIT
+
+    def test_clear_resets(self):
+        t = CheckingTable(256)
+        t.mark_store(0x100, 8)
+        t.clear()
+        assert t.check_load(0x100, 8) == CheckingTable.CLEAR
+        assert t.marked_count == 0
+        assert t.clears == 1
+
+    def test_counters(self):
+        t = CheckingTable(256)
+        t.mark_store(0, 8)
+        t.check_load(0, 8)
+        assert t.writes == 1 and t.reads == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            CheckingTable(100)
+
+
+class TestInvSemantics:
+    def test_inv_marks_whole_line(self):
+        t = CheckingTable(1024)
+        indices = t.mark_invalidation(0x1000, 128)
+        assert len(indices) == 16  # 128B line = 16 quad words
+
+    def test_inv_only_promotes_first_load(self):
+        """First load to an INV entry is not replayed but promotes the
+        granules to WRT; a second overlapping load replays (write
+        serialization, Section 4.3)."""
+        t = CheckingTable(1024)
+        t.mark_invalidation(0x1000, 128)
+        assert t.check_load(0x1008, 8) == CheckingTable.PROMOTED
+        assert t.check_load(0x1008, 8) == CheckingTable.WRT_HIT
+
+    def test_inv_promotion_is_granular(self):
+        t = CheckingTable(1024)
+        t.mark_invalidation(0x1000, 128)
+        assert t.check_load(0x1000, 4) == CheckingTable.PROMOTED
+        # The other half of the quad word was not promoted.
+        assert t.check_load(0x1004, 4) == CheckingTable.PROMOTED
+        assert t.check_load(0x1004, 4) == CheckingTable.WRT_HIT
+
+    def test_wrt_takes_precedence_over_inv(self):
+        t = CheckingTable(1024)
+        t.mark_store(0x1000, 8)
+        t.mark_invalidation(0x1000, 128)
+        assert t.check_load(0x1000, 8) == CheckingTable.WRT_HIT
+
+
+class TestModelBased:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["store", "load", "clear"]),
+                  st.integers(0, 255).map(lambda x: x * 8),
+                  st.sampled_from([2, 4, 8])),
+        max_size=80,
+    ))
+    def test_against_reference_model(self, ops):
+        """The table never misses a genuinely marked granule (no false
+        negatives relative to an exact-granule reference model)."""
+        t = CheckingTable(64)
+        marked = set()  # exact (granule_addr) pairs marked by stores
+        for kind, addr, size in ops:
+            addr &= ~(size - 1)
+            if kind == "store":
+                t.mark_store(addr, size)
+                for g in range(addr, addr + max(size, 2), 2):
+                    marked.add(g)
+            elif kind == "clear":
+                t.clear()
+                marked.clear()
+            else:
+                outcome = t.check_load(addr, size)
+                touches_marked = any(
+                    g in marked for g in range(addr, addr + max(size, 2), 2)
+                )
+                if touches_marked:
+                    assert outcome == CheckingTable.WRT_HIT

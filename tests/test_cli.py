@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scheme_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gzip", "--scheme", "magic"])
+
+
+class TestInformational:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "swim" in out and "FP" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "config1" in out and "2048" in out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table6" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+
+class TestRunCommands:
+    def test_run_summary(self, capsys):
+        assert main(["run", "gzip", "--scheme", "dmdc", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "dmdc-global" in out and "ipc" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "art", "-n", "1200", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "art"
+        assert payload["summary"]["committed"] == 1200
+        assert "commit.loads" in payload["counters"]
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gzip", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "LQ savings" in out and "slowdown" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "gzip", "-n", "200", "--rows", "6",
+                     "--width", "50"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_run_scheme_variants(self, capsys):
+        assert main(["run", "gzip", "--scheme", "dmdc", "--local",
+                     "--coherence", "--invalidation-rate", "50",
+                     "-n", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "dmdc-local" in out and "coherent" in out
+
+
+class TestTraceCommands:
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = str(tmp_path / "t.dmdc")
+        assert main(["trace", "--workload", "mcf", "-n", "500",
+                     "--out", out_file]) == 0
+        assert main(["trace", "--inspect", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "micro-ops" in out and "LOAD" in out
+
+    def test_experiment_run_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS_PER_GROUP", "1")
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert main(["experiment", "sq_filter", "--budget", "1000"]) == 0
+        assert "SQ" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for the Wattch-style energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.energy.params import (
+    EnergyParams,
+    cam_search_energy,
+    cam_write_energy,
+    flash_clear_energy,
+    ram_energy,
+    register_energy,
+)
+from repro.sim.config import CONFIG1, CONFIG2, CONFIG3, SchemeConfig, small_config
+from repro.sim.runner import run_workload
+from repro.workloads import get_workload
+
+
+class TestFormulas:
+    def test_cam_scales_with_entries_and_bits(self):
+        assert cam_search_energy(96, 40) == pytest.approx(2 * cam_search_energy(48, 40))
+        assert cam_search_energy(96, 40) > cam_search_energy(96, 20)
+
+    def test_cam_write_cheaper_than_search(self):
+        assert cam_write_energy(96) < cam_search_energy(96)
+
+    def test_ram_sublinear_in_entries(self):
+        quad = ram_energy(4096, 8) / ram_energy(1024, 8)
+        assert 1.0 < quad < 4.0
+
+    def test_register_tiny_vs_cam(self):
+        assert register_energy(16) < 0.01 * cam_search_energy(48)
+
+    def test_flash_clear_scales(self):
+        assert flash_clear_energy(4096) == pytest.approx(4 * flash_clear_energy(1024))
+
+    def test_custom_params_flow_through(self):
+        doubled = EnergyParams(cam_bit=2 * EnergyParams().cam_bit)
+        assert cam_search_energy(48, params=doubled) == pytest.approx(
+            2 * cam_search_energy(48)
+        )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One baseline + one DMDC + one YLA run on a shared small workload."""
+    out = {}
+    for key, scheme in (
+        ("base", SchemeConfig(kind="conventional")),
+        ("dmdc", SchemeConfig(kind="dmdc")),
+        ("yla", SchemeConfig(kind="yla")),
+    ):
+        cfg = CONFIG2.with_scheme(scheme)
+        out[key] = (cfg, run_workload(cfg, get_workload("gzip"), max_instructions=4000))
+    return out
+
+
+class TestModelOnRuns:
+    def test_breakdown_components_complete(self, runs):
+        cfg, result = runs["base"]
+        b = EnergyModel(cfg).evaluate(result)
+        for key in ("icache", "dcache", "l2", "bpred", "rename", "rob", "iq",
+                    "regfile", "fu", "sq", "lq", "clock"):
+            assert b.components[key] > 0, key
+        assert b.total == pytest.approx(sum(b.components.values()))
+
+    def test_share_sums_to_one(self, runs):
+        cfg, result = runs["base"]
+        b = EnergyModel(cfg).evaluate(result)
+        assert sum(b.share(k) for k in b.components) == pytest.approx(1.0)
+
+    def test_baseline_lq_detail(self, runs):
+        cfg, result = runs["base"]
+        b = EnergyModel(cfg).evaluate(result)
+        assert "search" in b.lq_detail and "allocate" in b.lq_detail
+        assert "fifo" not in b.lq_detail
+
+    def test_dmdc_lq_detail(self, runs):
+        cfg, result = runs["dmdc"]
+        b = EnergyModel(cfg).evaluate(result)
+        assert "fifo" in b.lq_detail and "table" in b.lq_detail and "yla" in b.lq_detail
+        assert "search" not in b.lq_detail
+
+    def test_dmdc_saves_most_lq_energy(self, runs):
+        base = EnergyModel(runs["base"][0]).evaluate(runs["base"][1])
+        dmdc = EnergyModel(runs["dmdc"][0]).evaluate(runs["dmdc"][1])
+        assert dmdc.lq < 0.2 * base.lq
+
+    def test_yla_saves_some_lq_energy(self, runs):
+        base = EnergyModel(runs["base"][0]).evaluate(runs["base"][1])
+        yla = EnergyModel(runs["yla"][0]).evaluate(runs["yla"][1])
+        assert 0.4 * base.lq < yla.lq < 0.95 * base.lq
+
+    def test_lq_share_grows_with_machine_size(self):
+        shares = []
+        for cfg in (CONFIG1, CONFIG2, CONFIG3):
+            result = run_workload(cfg, get_workload("gzip"), max_instructions=3000)
+            shares.append(EnergyModel(cfg).evaluate(result).share("lq"))
+        assert shares[0] < shares[1] < shares[2]
+        assert 0.01 < shares[0] and shares[2] < 0.2
+
+    def test_clock_energy_proportional_to_cycles(self, runs):
+        cfg, result = runs["base"]
+        model = EnergyModel(cfg)
+        b = model.evaluate(result)
+        assert b.components["clock"] == pytest.approx(result.cycles * model.clock_per_cycle)

@@ -1,0 +1,86 @@
+"""Energy-model coverage of the scheme-specific LQ accounting paths."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.sim.config import CONFIG2, SchemeConfig, small_config
+from repro.sim.runner import run_workload
+from repro.workloads import get_workload
+
+BUDGET = 3_000
+
+
+@pytest.fixture(scope="module")
+def by_scheme():
+    out = {}
+    for kind, extra in [
+        ("conventional", {}),
+        ("yla", {}),
+        ("bloom", {"bloom_entries": 256}),
+        ("dmdc", {}),
+        ("dmdc_queue", {}),
+        ("garg", {}),
+        ("value", {}),
+    ]:
+        if kind == "dmdc_queue":
+            scheme = SchemeConfig(kind="dmdc", checking_queue_entries=16)
+        else:
+            scheme = SchemeConfig(kind=kind, **extra)
+        cfg = CONFIG2.with_scheme(scheme)
+        out[kind] = (cfg, run_workload(cfg, get_workload("vpr"),
+                                       max_instructions=BUDGET))
+    return out
+
+
+class TestLqDetailPaths:
+    def test_yla_detail_includes_register_overhead(self, by_scheme):
+        cfg, result = by_scheme["yla"]
+        detail = EnergyModel(cfg).evaluate(result).lq_detail
+        assert "yla" in detail and detail["yla"] > 0
+        assert "search" in detail
+
+    def test_bloom_detail_includes_filter_array(self, by_scheme):
+        cfg, result = by_scheme["bloom"]
+        detail = EnergyModel(cfg).evaluate(result).lq_detail
+        assert "bloom" in detail and detail["bloom"] > 0
+
+    def test_dmdc_queue_detail_includes_cam(self, by_scheme):
+        cfg, result = by_scheme["dmdc_queue"]
+        detail = EnergyModel(cfg).evaluate(result).lq_detail
+        assert "queue" in detail and detail["queue"] > 0
+        assert "table" in detail and detail["table"] == 0  # no hash table used
+
+    def test_garg_detail_is_table_only(self, by_scheme):
+        cfg, result = by_scheme["garg"]
+        detail = EnergyModel(cfg).evaluate(result).lq_detail
+        assert set(detail) == {"table"}
+        assert detail["table"] > 0
+
+    def test_value_detail_is_reexecution_only(self, by_scheme):
+        cfg, result = by_scheme["value"]
+        detail = EnergyModel(cfg).evaluate(result).lq_detail
+        assert set(detail) == {"reexecution"}
+        assert detail["reexecution"] > 0
+
+
+class TestCrossSchemeOrdering:
+    def test_paper_section7_energy_ordering(self, by_scheme):
+        """DMDC < Garg < value < yla-filtered < conventional (LQ cost)."""
+        lq = {}
+        for kind in ("conventional", "yla", "dmdc", "garg", "value"):
+            cfg, result = by_scheme[kind]
+            lq[kind] = EnergyModel(cfg).evaluate(result).lq
+        assert lq["dmdc"] < lq["garg"] < lq["value"] < lq["yla"] < lq["conventional"]
+
+    def test_filtered_stores_reduce_search_energy(self, by_scheme):
+        cfg_b, base = by_scheme["conventional"]
+        cfg_y, yla = by_scheme["yla"]
+        model = EnergyModel(cfg_b)
+        assert (model.evaluate(yla).lq_detail["search"]
+                < model.evaluate(base).lq_detail["search"])
+
+    def test_total_energy_ordering_tracks_lq(self, by_scheme):
+        cfg_b, base = by_scheme["conventional"]
+        cfg_d, dmdc = by_scheme["dmdc"]
+        model = EnergyModel(cfg_b)
+        assert model.evaluate(dmdc).total < model.evaluate(base).total

@@ -1,0 +1,125 @@
+"""Smoke tests for every experiment module (tiny budgets, suite subset)."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+TINY = dict(budget=1200)
+
+
+@pytest.fixture(autouse=True)
+def small_sweeps(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOADS_PER_GROUP", "1")
+    monkeypatch.setenv("REPRO_PARALLEL", "0")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS.values()}
+        for expected in ("Figure 2", "Figure 3", "Figure 4", "Figure 5",
+                         "Table 2", "Table 3", "Table 4", "Table 5", "Table 6"):
+            assert expected in artifacts
+
+    def test_ids_match_keys(self):
+        for key, exp in EXPERIMENTS.items():
+            assert exp.id == key
+
+
+class TestFig2:
+    def test_rows_and_render(self):
+        data, text = run_experiment("fig2", register_counts=(1, 2), **TINY)
+        assert {r["group"] for r in data["rows"]} == {"INT", "FP"}
+        regs = {r["registers"] for r in data["rows"]}
+        assert regs == {1, 2}
+        for row in data["rows"]:
+            assert 0 <= row["filtered_min"] <= row["filtered_mean"] <= row["filtered_max"] <= 100
+        assert "Figure 2" in text
+
+    def test_more_registers_do_not_hurt(self):
+        data, _ = run_experiment("fig2", register_counts=(1, 8), **TINY)
+        by = {(r["group"], r["interleaving"], r["registers"]): r["filtered_mean"]
+              for r in data["rows"]}
+        for group in ("INT", "FP"):
+            assert by[(group, "quad-word", 8)] >= by[(group, "quad-word", 1)] - 1.0
+
+
+class TestFig3:
+    def test_rows(self):
+        data, text = run_experiment("fig3", bloom_sizes=(64,), **TINY)
+        kinds = {r["filter"] for r in data["rows"]}
+        assert kinds == {"bloom", "yla"}
+        assert "Figure 3" in text
+
+
+class TestFig4AndFriends:
+    def test_fig4_single_config(self):
+        from repro.sim.config import CONFIG1
+        data, text = run_experiment("fig4", configs={"config1": CONFIG1}, **TINY)
+        assert {r["config"] for r in data["rows"]} == {"config1"}
+        for row in data["rows"]:
+            assert row["lq_savings_mean"] > 50.0  # DMDC always slashes LQ energy
+        assert "Figure 4" in text
+
+    def test_fig5_single_config(self):
+        from repro.sim.config import CONFIG1
+        data, text = run_experiment("fig5", configs={"config1": CONFIG1}, **TINY)
+        variants = {r["variant"] for r in data["rows"]}
+        assert variants == {"global", "local"}
+        assert "Figure 5" in text
+
+    def test_yla_energy(self):
+        data, text = run_experiment("yla_energy", **TINY)
+        for row in data["rows"]:
+            assert 0.0 < row["lq_savings"] < 100.0
+        assert "6.1" in text
+
+
+class TestTables:
+    def test_table2(self):
+        data, text = run_experiment("table2", **TINY)
+        assert not data["local"]
+        for row in data["rows"]:
+            assert row["loads"] <= row["instructions"]
+            assert row["safe_loads"] <= row["loads"] + 1e-9
+        assert "Table 2" in text
+
+    def test_table4_is_local(self):
+        data, text = run_experiment("table4", **TINY)
+        assert data["local"] and "local" in text
+
+    def test_table3_categories(self):
+        data, text = run_experiment("table3", **TINY)
+        kinds = {r["kind"] for r in data["rows"]}
+        assert "address match" in kinds and "hashing conflict" in kinds
+        assert "Table 3" in text
+
+    def test_table5_is_local(self):
+        data, _ = run_experiment("table5", **TINY)
+        assert data["local"]
+
+    def test_table6_rates(self):
+        data, text = run_experiment("table6", rates=(0.0, 50.0), **TINY)
+        rates = {r["rate"] for r in data["rows"]}
+        assert rates == {0.0, 50.0}
+        baseline_rows = [r for r in data["rows"] if r["rate"] == 0.0]
+        for row in baseline_rows:
+            assert row["rel_window"] == pytest.approx(1.0)
+        assert "Table 6" in text
+
+
+class TestTextExperiments:
+    def test_safe_loads(self):
+        data, text = run_experiment("safe_loads", **TINY)
+        for row in data["rows"]:
+            assert 0 <= row["safe_load_pct"] <= 100
+        assert "safe-load" in text
+
+    def test_checking_queue(self):
+        data, text = run_experiment("checking_queue", queue_sizes=(8,), **TINY)
+        backends = {r["backend"] for r in data["rows"]}
+        assert "table" in backends and "queue:8" in backends
+
+    def test_sq_filter(self):
+        data, text = run_experiment("sq_filter", **TINY)
+        assert data["rows"]
+        assert "SQ" in text

@@ -1,0 +1,64 @@
+"""Tests for scheme construction from configuration."""
+
+import pytest
+
+from repro.core.schemes import (
+    BloomFilteredScheme,
+    ConventionalScheme,
+    DmdcScheme,
+    GargAgeHashScheme,
+    ValueBasedScheme,
+    YlaFilteredScheme,
+    build_scheme,
+)
+from repro.errors import ConfigError
+from repro.sim.config import CONFIG1, CONFIG2, SchemeConfig
+
+
+class TestFactory:
+    def test_kinds_map_to_classes(self):
+        cases = {
+            "conventional": ConventionalScheme,
+            "yla": YlaFilteredScheme,
+            "bloom": BloomFilteredScheme,
+            "dmdc": DmdcScheme,
+            "garg": GargAgeHashScheme,
+            "value": ValueBasedScheme,
+        }
+        for kind, cls in cases.items():
+            scheme = build_scheme(SchemeConfig(kind=kind), CONFIG2)
+            assert type(scheme) is cls, kind
+
+    def test_yla_is_a_conventional_subclass(self):
+        scheme = build_scheme(SchemeConfig(kind="yla"), CONFIG2)
+        assert isinstance(scheme, ConventionalScheme)
+
+    def test_dmdc_table_size_defaults_to_machine(self):
+        scheme = build_scheme(SchemeConfig(kind="dmdc"), CONFIG1)
+        assert scheme.table.entries == CONFIG1.checking_table
+
+    def test_dmdc_table_size_override(self):
+        scheme = build_scheme(SchemeConfig(kind="dmdc", table_entries=64), CONFIG2)
+        assert scheme.table.entries == 64
+
+    def test_garg_table_size_defaults_to_machine(self):
+        scheme = build_scheme(SchemeConfig(kind="garg"), CONFIG1)
+        assert scheme.table.entries == CONFIG1.checking_table
+
+    def test_checking_queue_variant(self):
+        scheme = build_scheme(SchemeConfig(kind="dmdc", checking_queue_entries=8), CONFIG2)
+        assert scheme.queue is not None and scheme.table is None
+
+    def test_coherence_adds_line_yla(self):
+        scheme = build_scheme(SchemeConfig(kind="dmdc", coherence=True), CONFIG2)
+        assert scheme.yla_line is not None
+        assert scheme.yla_line.granularity_bytes == CONFIG2.l2_line_bytes
+
+    def test_associative_flags(self):
+        assert build_scheme(SchemeConfig(kind="conventional"), CONFIG2).uses_associative_lq
+        for kind in ("dmdc", "garg", "value"):
+            assert not build_scheme(SchemeConfig(kind=kind), CONFIG2).uses_associative_lq
+
+    def test_unknown_kind_rejected_at_config(self):
+        with pytest.raises(ConfigError):
+            SchemeConfig(kind="mystery")

@@ -1,0 +1,74 @@
+"""Golden regression: pinned end-to-end results for fixed seeds.
+
+These tests freeze the *exact* behaviour of the whole stack (workload
+generation, pipeline timing, scheme decisions) for a few configurations.
+Any change to the model that alters timing shows up here first — update
+the goldens deliberately, never accidentally.
+
+The pinned values are structural (committed counts match budgets, replays
+detected where engineered) plus cross-run determinism, and loose bands on
+the headline paper metrics so legitimate re-calibration doesn't require
+touching dozens of numbers.
+"""
+
+import pytest
+
+from repro.sim.config import CONFIG2, SchemeConfig, small_config
+from repro.sim.runner import run_workload
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gzip_dmdc():
+    cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+    return run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def gzip_base():
+    return run_workload(CONFIG2, get_workload("gzip"), max_instructions=6000, seed=1)
+
+
+class TestDeterministicGoldens:
+    def test_repeatability_is_exact(self, gzip_dmdc):
+        cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+        again = run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+        assert again.cycles == gzip_dmdc.cycles
+        assert again.counters.as_dict() == gzip_dmdc.counters.as_dict()
+
+    def test_baseline_and_dmdc_commit_identically(self, gzip_base, gzip_dmdc):
+        assert gzip_base.committed == gzip_dmdc.committed == 6000
+        # Memory behaviour is architecturally identical across schemes.
+        assert gzip_base.counters["commit.loads"] == gzip_dmdc.counters["commit.loads"]
+        assert gzip_base.counters["commit.stores"] == gzip_dmdc.counters["commit.stores"]
+
+
+class TestHeadlineBands:
+    """Loose bands around the paper's headline numbers for one workload."""
+
+    def test_ipc_band(self, gzip_base):
+        assert 0.5 < gzip_base.ipc < 4.0
+
+    def test_dmdc_filtering_band(self, gzip_dmdc):
+        assert 0.90 < gzip_dmdc.safe_store_fraction <= 1.0
+
+    def test_safe_load_band(self, gzip_dmdc):
+        assert 0.70 < gzip_dmdc.safe_load_fraction <= 1.0
+
+    def test_checking_time_band(self, gzip_dmdc):
+        assert gzip_dmdc.checking_cycle_fraction < 0.35
+
+    def test_slowdown_band(self, gzip_base, gzip_dmdc):
+        assert abs(gzip_dmdc.cycles / gzip_base.cycles - 1) < 0.05
+
+    def test_branch_predictor_band(self, gzip_base):
+        c = gzip_base.counters
+        mispredict_rate = c["bpred.mispredicts"] / max(1, c["bpred.lookups"])
+        assert 0.005 < mispredict_rate < 0.15
+
+    def test_small_config_gap(self):
+        """The small test machine is strictly slower than config2."""
+        small = run_workload(small_config(), get_workload("gzip"),
+                             max_instructions=3000)
+        big = run_workload(CONFIG2, get_workload("gzip"), max_instructions=3000)
+        assert small.ipc < big.ipc * 1.05

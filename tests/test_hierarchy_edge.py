@@ -1,0 +1,90 @@
+"""Edge-case tests for memory hierarchy interactions with the pipeline."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass
+from repro.sim.config import small_config
+from repro.sim.runner import run_trace
+from tests.conftest import TraceBuilder
+
+
+class TestLoadLatencyTiers:
+    def test_l1_hit_faster_than_miss(self):
+        config = small_config(wrongpath_loads=False)
+        from repro.sim.processor import Processor
+
+        def cycles_for(prefill):
+            b = TraceBuilder()
+            b.load(0x4000, dst=1)
+            b.fill(4)
+            trace = b.build()
+            proc = Processor(config, trace)
+            proc.prewarm()
+            if prefill:
+                proc.memory.read(0x4000)
+            proc.run(len(trace))
+            return proc.cycle
+
+        assert cycles_for(prefill=True) < cycles_for(prefill=False)
+
+    def test_store_commit_fills_cache_for_later_loads(self):
+        config = small_config(wrongpath_loads=False)
+        b = TraceBuilder()
+        b.store(0x4000)
+        b.fill(20)                    # let the store commit
+        b.load(0x4000, dst=5)
+        b.fill(4)
+        result = run_trace(config, b.build())
+        # The load hits in L1 (filled by the store): no extra L2 misses
+        # beyond the store's own write-allocate.
+        assert result.counters["dcache.misses"] <= 1 + result.counters["commit.stores"]
+
+
+class TestForwardingVsCache:
+    def test_forwarded_load_does_not_touch_dcache(self):
+        config = small_config(wrongpath_loads=False)
+        b = TraceBuilder()
+        b.fill(2)
+        b.store(0x4000)
+        b.load(0x4000, dst=5)
+        b.fill(8)
+        result = run_trace(config, b.build())
+        assert result.counters["load.forwarded"] == 1
+        # Only the other (cache) loads and the store's commit access memory.
+        assert result.counters["dcache.reads"] == 0
+
+    def test_partial_forward_retries_until_store_commits(self):
+        config = small_config(wrongpath_loads=False)
+        b = TraceBuilder()
+        b.store(0x4000, size=4)           # cannot cover an 8-byte load
+        b.load(0x4000, dst=5, size=8)
+        b.fill(30)
+        result = run_trace(config, b.build())
+        assert result.counters["load.rejections"] >= 1
+        assert result.committed == len(b.build())
+        # Eventually the store commits and the load reads the cache.
+        assert result.counters["dcache.reads"] >= 1
+
+
+class TestMisalignedSizes:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_all_access_sizes_flow_through(self, size):
+        config = small_config(wrongpath_loads=False)
+        b = TraceBuilder()
+        b.store(0x4000, size=size)
+        b.load(0x4000, dst=5, size=size)
+        b.fill(10)
+        result = run_trace(config, b.build())
+        assert result.committed == len(b.build())
+
+    def test_narrow_store_wide_load_disjoint_halves(self):
+        """A 4-byte store and a 4-byte load to the other half of the quad
+        word must neither forward nor reject."""
+        config = small_config(wrongpath_loads=False)
+        b = TraceBuilder()
+        b.store(0x4000, size=4)
+        b.load(0x4004, dst=5, size=4)
+        b.fill(10)
+        result = run_trace(config, b.build())
+        assert result.counters["load.forwarded"] == 0
+        assert result.counters["load.rejections"] == 0

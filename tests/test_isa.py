@@ -1,0 +1,117 @@
+"""Unit tests for the ISA layer: micro-ops, traces, opcode helpers."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import (
+    FP_CLASSES,
+    InstrClass,
+    MEM_CLASSES,
+    is_fp_reg,
+    uses_fp_queue,
+)
+from repro.isa.trace import Trace, validate_trace
+
+
+class TestOpcodes:
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(0) and not is_fp_reg(31)
+        assert is_fp_reg(32) and is_fp_reg(63)
+
+    def test_fp_queue_for_fp_arith(self):
+        for cls in FP_CLASSES:
+            assert uses_fp_queue(cls, dst=None)
+
+    def test_fp_queue_for_memory_by_dst(self):
+        assert uses_fp_queue(InstrClass.LOAD, dst=40)
+        assert not uses_fp_queue(InstrClass.LOAD, dst=5)
+        assert not uses_fp_queue(InstrClass.STORE, dst=None)
+
+    def test_int_classes_stay_int(self):
+        assert not uses_fp_queue(InstrClass.IALU, dst=5)
+        assert not uses_fp_queue(InstrClass.BRANCH, dst=None)
+
+    def test_mem_classes(self):
+        assert InstrClass.LOAD in MEM_CLASSES and InstrClass.STORE in MEM_CLASSES
+        assert InstrClass.IALU not in MEM_CLASSES
+
+
+class TestMicroOpValidation:
+    def test_valid_load(self):
+        MicroOp(0x100, InstrClass.LOAD, srcs=(28,), dst=1, mem_addr=0x80, mem_size=8).validate()
+
+    def test_misaligned_access_rejected(self):
+        op = MicroOp(0x100, InstrClass.LOAD, dst=1, mem_addr=0x81, mem_size=8)
+        with pytest.raises(TraceError, match="misaligned"):
+            op.validate()
+
+    def test_illegal_size_rejected(self):
+        op = MicroOp(0x100, InstrClass.LOAD, dst=1, mem_addr=0x80, mem_size=3)
+        with pytest.raises(TraceError, match="size"):
+            op.validate()
+
+    def test_register_range_checked(self):
+        with pytest.raises(TraceError):
+            MicroOp(0x100, InstrClass.IALU, srcs=(99,), dst=1).validate()
+        with pytest.raises(TraceError):
+            MicroOp(0x100, InstrClass.IALU, srcs=(), dst=64).validate()
+
+    def test_data_src_only_for_stores(self):
+        op = MicroOp(0x100, InstrClass.IALU, srcs=(), dst=1, data_src=2)
+        with pytest.raises(TraceError, match="data_src"):
+            op.validate()
+
+    def test_store_data_src_range(self):
+        op = MicroOp(0x100, InstrClass.STORE, mem_addr=0x80, mem_size=8, data_src=200)
+        with pytest.raises(TraceError):
+            op.validate()
+
+    def test_flags(self):
+        load = MicroOp(0, InstrClass.LOAD, dst=1, mem_addr=0, mem_size=8)
+        store = MicroOp(0, InstrClass.STORE, mem_addr=0, mem_size=8)
+        branch = MicroOp(0, InstrClass.BRANCH, taken=True, target=4)
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem
+        assert branch.is_branch and not branch.is_mem
+
+    def test_repr_contains_class(self):
+        op = MicroOp(0x40, InstrClass.STORE, mem_addr=0x80, mem_size=4)
+        assert "STORE" in repr(op)
+
+
+class TestTrace:
+    def test_validate_empty_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            validate_trace(Trace("t"))
+
+    def test_validate_bad_group(self):
+        t = Trace("t", [MicroOp(0, InstrClass.NOP)], group="VEC")
+        with pytest.raises(TraceError, match="group"):
+            validate_trace(t)
+
+    def test_validate_flags_position(self):
+        t = Trace("t", [MicroOp(0, InstrClass.NOP), MicroOp(4, InstrClass.LOAD, dst=1, mem_addr=3, mem_size=8)])
+        with pytest.raises(TraceError, match=r"t\[1\]"):
+            validate_trace(t)
+
+    def test_taken_non_branch_rejected(self):
+        op = MicroOp(0, InstrClass.IALU, dst=1)
+        op.taken = True
+        with pytest.raises(TraceError, match="non-branch"):
+            validate_trace(Trace("t", [op]))
+
+    def test_mix(self):
+        t = Trace("t", [
+            MicroOp(0, InstrClass.IALU, dst=1),
+            MicroOp(4, InstrClass.LOAD, dst=1, mem_addr=0, mem_size=8),
+            MicroOp(8, InstrClass.LOAD, dst=1, mem_addr=8, mem_size=8),
+            MicroOp(12, InstrClass.STORE, mem_addr=0, mem_size=8),
+        ])
+        mix = t.mix()
+        assert mix["LOAD"] == 0.5 and mix["IALU"] == 0.25
+
+    def test_container_protocol(self):
+        op = MicroOp(0, InstrClass.NOP)
+        t = Trace("t", [op])
+        assert len(t) == 1 and t[0] is op and list(t) == [op]

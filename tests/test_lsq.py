@@ -1,0 +1,151 @@
+"""Unit tests for load/store queues and the forwarding protocol."""
+
+import pytest
+
+from repro.backend.dyninst import DynInstr
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import InstrClass
+from repro.lsq.queues import ForwardAction, LoadQueue, StoreQueue
+
+
+def mk_store(seq, addr, size=8, resolved=True, data_ready=True):
+    uop = MicroOp(0x100 + 4 * seq, InstrClass.STORE, mem_addr=addr, mem_size=size,
+                  data_src=1)
+    d = DynInstr(uop, trace_idx=seq, seq=seq, fp_side=False)
+    if resolved:
+        d.resolve_cycle = 1
+        d.issue_cycle = 1
+    d.pending_data = 0 if data_ready else 1
+    return d
+
+
+def mk_load(seq, addr, size=8, issued=False):
+    uop = MicroOp(0x200 + 4 * seq, InstrClass.LOAD, mem_addr=addr, mem_size=size, dst=2)
+    d = DynInstr(uop, trace_idx=seq, seq=seq, fp_side=False)
+    if issued:
+        d.issue_cycle = 1
+    return d
+
+
+class TestForwarding:
+    def test_no_older_stores_goes_to_cache(self):
+        sq = StoreQueue(8)
+        res = sq.search_for_forwarding(mk_load(5, 0x100))
+        assert res.action == ForwardAction.CACHE
+        assert res.all_older_resolved
+
+    def test_full_cover_forwards(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100, size=8))
+        res = sq.search_for_forwarding(mk_load(5, 0x100, size=4))
+        assert res.action == ForwardAction.FORWARD
+        assert res.store.seq == 1
+
+    def test_partial_cover_rejects(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100, size=4))
+        res = sq.search_for_forwarding(mk_load(5, 0x100, size=8))
+        assert res.action == ForwardAction.REJECT
+
+    def test_data_not_ready_rejects(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100, data_ready=False))
+        res = sq.search_for_forwarding(mk_load(5, 0x100))
+        assert res.action == ForwardAction.REJECT
+
+    def test_youngest_older_store_wins(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100))
+        sq.allocate(mk_store(2, 0x100))
+        res = sq.search_for_forwarding(mk_load(5, 0x100))
+        assert res.store.seq == 2
+
+    def test_younger_stores_ignored(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(9, 0x100))
+        res = sq.search_for_forwarding(mk_load(5, 0x100))
+        assert res.action == ForwardAction.CACHE
+
+    def test_unresolved_older_store_makes_speculative(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100, resolved=False))
+        res = sq.search_for_forwarding(mk_load(5, 0x200))
+        assert res.action == ForwardAction.CACHE
+        assert not res.all_older_resolved
+
+    def test_unresolved_does_not_block_forwarding_from_resolved(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0x100))
+        sq.allocate(mk_store(2, 0x300, resolved=False))
+        res = sq.search_for_forwarding(mk_load(5, 0x100))
+        assert res.action == ForwardAction.FORWARD
+        assert not res.all_older_resolved
+
+    def test_search_counting(self):
+        sq = StoreQueue(8)
+        sq.search_for_forwarding(mk_load(1, 0), count_search=True)
+        sq.search_for_forwarding(mk_load(2, 0), count_search=False)
+        assert sq.searches == 1 and sq.searches_filtered == 1
+
+
+class TestStoreQueueBookkeeping:
+    def test_retire_order_enforced(self):
+        sq = StoreQueue(8)
+        s1, s2 = mk_store(1, 0), mk_store(2, 8)
+        sq.allocate(s1)
+        sq.allocate(s2)
+        with pytest.raises(AssertionError):
+            sq.retire_head(s2)
+        sq.retire_head(s1)
+
+    def test_oldest_unresolved(self):
+        sq = StoreQueue(8)
+        sq.allocate(mk_store(1, 0))
+        sq.allocate(mk_store(2, 8, resolved=False))
+        assert sq.oldest_unresolved_seq() == 2
+        assert sq.oldest_seq() == 1
+
+    def test_squash_younger(self):
+        sq = StoreQueue(8)
+        for seq in (1, 2, 3):
+            sq.allocate(mk_store(seq, seq * 8))
+        sq.squash_younger(1)
+        assert len(sq) == 1 and sq.oldest_seq() == 1
+
+
+class TestLoadQueueSearch:
+    def test_finds_oldest_younger_issued_overlap(self):
+        lq = LoadQueue(8)
+        lq.allocate(mk_load(3, 0x100, issued=True))
+        lq.allocate(mk_load(4, 0x100, issued=True))
+        victim = lq.search_younger_issued(mk_store(2, 0x100))
+        assert victim.seq == 3
+
+    def test_ignores_unissued_and_older(self):
+        lq = LoadQueue(8)
+        lq.allocate(mk_load(1, 0x100, issued=True))    # older than store
+        lq.allocate(mk_load(4, 0x100, issued=False))   # not issued
+        assert lq.search_younger_issued(mk_store(2, 0x100)) is None
+
+    def test_ignores_disjoint_addresses(self):
+        lq = LoadQueue(8)
+        lq.allocate(mk_load(4, 0x200, issued=True))
+        assert lq.search_younger_issued(mk_store(2, 0x100)) is None
+
+    def test_partial_overlap_detected(self):
+        lq = LoadQueue(8)
+        lq.allocate(mk_load(4, 0x104, size=4, issued=True))
+        victim = lq.search_younger_issued(mk_store(2, 0x100, size=8))
+        assert victim is not None
+
+    def test_issued_loads_listing(self):
+        lq = LoadQueue(8)
+        lq.allocate(mk_load(1, 0, issued=True))
+        lq.allocate(mk_load(2, 8, issued=False))
+        assert [l.seq for l in lq.issued_loads()] == [1]
+
+    def test_search_counters(self):
+        lq = LoadQueue(8)
+        lq.search_younger_issued(mk_store(1, 0))
+        lq.search_younger_issued(mk_store(2, 0), count_search=False)
+        assert lq.searches == 1 and lq.searches_filtered == 1

@@ -1,0 +1,116 @@
+"""CI-checked paper claims: the headline shapes at reduced scale.
+
+These run a 4-workload mini-suite (2 INT + 2 FP, 5k instructions) on
+config2 and assert the *orderings and bands* the reproduction stands on.
+They are the fastest early-warning signal that a model change broke the
+science, sitting between unit tests and the full benchmark harness.
+"""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.sim.config import CONFIG2, SchemeConfig
+from repro.sim.runner import run_workload
+from repro.workloads import get_workload
+
+WORKLOADS = ("gzip", "crafty", "swim", "art")
+BUDGET = 5_000
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """All (scheme, workload) results this module asserts over."""
+    schemes = {
+        "base": SchemeConfig(kind="conventional"),
+        "yla1": SchemeConfig(kind="yla", yla_registers=1),
+        "yla8": SchemeConfig(kind="yla", yla_registers=8),
+        "yla8_line": SchemeConfig(kind="yla", yla_registers=8, yla_granularity=128),
+        "bloom64": SchemeConfig(kind="bloom", bloom_entries=64),
+        "dmdc": SchemeConfig(kind="dmdc"),
+        "dmdc_local": SchemeConfig(kind="dmdc", local=True),
+    }
+    out = {}
+    for key, scheme in schemes.items():
+        out[key] = {
+            name: run_workload(CONFIG2.with_scheme(scheme), get_workload(name),
+                               max_instructions=BUDGET)
+            for name in WORKLOADS
+        }
+    return out
+
+
+def mean(runs_for_scheme, metric):
+    vals = [metric(r) for r in runs_for_scheme.values()]
+    return sum(vals) / len(vals)
+
+
+class TestSection3Claims:
+    def test_one_register_filters_a_majority(self, runs):
+        assert mean(runs["yla1"], lambda r: r.safe_store_fraction) > 0.6
+
+    def test_eight_registers_beat_one(self, runs):
+        assert (mean(runs["yla8"], lambda r: r.safe_store_fraction)
+                > mean(runs["yla1"], lambda r: r.safe_store_fraction))
+
+    def test_eight_registers_filter_most_searches(self, runs):
+        assert mean(runs["yla8"], lambda r: r.safe_store_fraction) > 0.88
+
+    def test_quadword_beats_line_interleaving(self, runs):
+        assert (mean(runs["yla8"], lambda r: r.safe_store_fraction)
+                >= mean(runs["yla8_line"], lambda r: r.safe_store_fraction) - 0.01)
+
+    def test_one_register_beats_small_bloom(self, runs):
+        assert (mean(runs["yla1"], lambda r: r.safe_store_fraction)
+                > mean(runs["bloom64"], lambda r: r.safe_store_fraction))
+
+    def test_filtering_never_slows_down(self, runs):
+        for name in WORKLOADS:
+            assert runs["yla8"][name].cycles == pytest.approx(
+                runs["base"][name].cycles, rel=0.02)
+
+
+class TestSection6Claims:
+    def test_dmdc_eliminates_lq_searches(self, runs):
+        for name in WORKLOADS:
+            assert runs["dmdc"][name].counters["lq.searches_assoc"] == 0
+
+    def test_dmdc_lq_energy_savings_band(self, runs):
+        model = EnergyModel(CONFIG2)
+        for name in WORKLOADS:
+            base = model.evaluate(runs["base"][name]).lq
+            dmdc = model.evaluate(runs["dmdc"][name]).lq
+            assert dmdc < 0.20 * base, name
+
+    def test_dmdc_net_processor_savings_positive(self, runs):
+        model = EnergyModel(CONFIG2)
+        savings = []
+        for name in WORKLOADS:
+            base = model.evaluate(runs["base"][name]).total
+            dmdc = model.evaluate(runs["dmdc"][name]).total
+            savings.append(1 - dmdc / base)
+        assert sum(savings) / len(savings) > 0.02
+
+    def test_dmdc_slowdown_small(self, runs):
+        for name in WORKLOADS:
+            slow = runs["dmdc"][name].cycles / runs["base"][name].cycles - 1
+            assert slow < 0.05, (name, slow)
+
+    def test_safe_loads_are_the_majority(self, runs):
+        assert mean(runs["dmdc"], lambda r: r.safe_load_fraction) > 0.7
+
+    def test_fp_checks_less_than_int(self, runs):
+        int_chk = (runs["dmdc"]["gzip"].checking_cycle_fraction
+                   + runs["dmdc"]["crafty"].checking_cycle_fraction)
+        fp_chk = (runs["dmdc"]["swim"].checking_cycle_fraction
+                  + runs["dmdc"]["art"].checking_cycle_fraction)
+        assert fp_chk < int_chk
+
+    def test_local_windows_shorter_than_global(self, runs):
+        glob = mean(runs["dmdc"], lambda r: r.mean_window_instrs or 0.0)
+        loc = mean(runs["dmdc_local"], lambda r: r.mean_window_instrs or 0.0)
+        if glob > 0 and loc > 0:
+            assert loc < glob
+
+    def test_true_violations_rare(self, runs):
+        for name in WORKLOADS:
+            assert runs["dmdc"][name].per_minstr("replay.true") < 100

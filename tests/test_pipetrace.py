@@ -1,0 +1,97 @@
+"""Tests for the pipeline event tracer."""
+
+from repro.sim.config import SchemeConfig, small_config
+from repro.sim.pipetrace import PipelineTracer
+from repro.sim.processor import Processor
+from repro.workloads import get_workload
+from tests.conftest import TraceBuilder
+
+
+def traced_run(trace, config=None, budget=None):
+    config = config or small_config(wrongpath_loads=False)
+    proc = Processor(config, trace)
+    proc.tracer = PipelineTracer()
+    proc.run(budget if budget is not None else len(trace))
+    return proc.tracer
+
+
+class TestRecording:
+    def test_every_committed_instr_has_full_lifecycle(self):
+        b = TraceBuilder()
+        b.fill(20)
+        tracer = traced_run(b.build())
+        for entry in tracer.instructions():
+            for kind in ("fetch", "dispatch", "issue", "complete", "commit"):
+                assert entry.cycle_of(kind) is not None, (entry.seq, kind)
+
+    def test_event_order_is_monotonic(self):
+        b = TraceBuilder()
+        b.fill(10).load(0x100, dst=9).fill(10)
+        tracer = traced_run(b.build())
+        for entry in tracer.instructions():
+            order = [entry.cycle_of(k) for k in
+                     ("fetch", "dispatch", "issue", "complete", "commit")]
+            order = [c for c in order if c is not None]
+            assert order == sorted(order)
+
+    def test_rejection_recorded(self):
+        from repro.isa.opcodes import InstrClass
+        b = TraceBuilder()
+        b.alu(dst=5, cls=InstrClass.IDIV)
+        b.store(0x100, data_src=5)
+        b.load(0x100, dst=6)
+        b.fill(20)
+        tracer = traced_run(b.build())
+        rejected = [e for e in tracer.instructions() if e.cycle_of("reject") is not None]
+        assert rejected
+
+    def test_replay_and_squash_recorded(self):
+        from repro.isa.opcodes import InstrClass
+        b = TraceBuilder()
+        b.fill(4)
+        b.alu(dst=10, cls=InstrClass.IDIV)
+        b.store(0x800, srcs=(10,))
+        b.load(0x800, dst=11)
+        b.fill(25)
+        config = small_config(wrongpath_loads=False).with_scheme(SchemeConfig(kind="dmdc"))
+        tracer = traced_run(b.build(), config=config)
+        kinds = {k for e in tracer.instructions() for _, k in e.events}
+        assert "replay" in kinds and "squash" in kinds
+
+    def test_capacity_bounded(self):
+        trace = get_workload("gzip").generate(400)
+        config = small_config()
+        proc = Processor(config, trace)
+        proc.tracer = PipelineTracer(capacity=50)
+        proc.run(300)
+        assert len(proc.tracer) <= 50
+
+    def test_latency_helper(self):
+        b = TraceBuilder()
+        b.fill(12)
+        tracer = traced_run(b.build())
+        seq = tracer.instructions()[0].seq
+        assert tracer.latency(seq) > 0
+        assert tracer.latency(99999) is None
+
+
+class TestRendering:
+    def test_timeline_contains_lanes_and_legend(self):
+        b = TraceBuilder()
+        b.fill(12)
+        tracer = traced_run(b.build())
+        text = tracer.render_timeline(max_rows=8)
+        assert "legend:" in text
+        assert text.count("|") >= 16  # two bars per rendered row
+
+    def test_empty_tracer(self):
+        assert "no traced" in PipelineTracer().render_timeline()
+
+    def test_width_clamped(self):
+        trace = get_workload("gzip").generate(300)
+        proc = Processor(small_config(), trace)
+        proc.tracer = PipelineTracer()
+        proc.run(200)
+        text = proc.tracer.render_timeline(max_width=40, max_rows=5)
+        for line in text.splitlines()[1:-1]:
+            assert len(line) <= 40 + 20  # lane + label prefix

@@ -1,0 +1,85 @@
+"""Integration tests for invalidation injection and coherent DMDC."""
+
+from repro.coherence.injector import InvalidationInjector
+from repro.sim.config import SchemeConfig, small_config
+from repro.sim.runner import run_trace, run_workload
+from repro.utils.rng import DeterministicRng
+from repro.workloads import get_workload
+
+
+class TestInjectorUnit:
+    def test_disabled_at_zero_rate(self):
+        inj = InvalidationInjector(DeterministicRng(1), 0.0, 128)
+        inj.observe(0x1000)
+        assert not inj.enabled
+        assert inj.maybe_invalidate() is None
+
+    def test_no_target_without_history(self):
+        inj = InvalidationInjector(DeterministicRng(1), 1000.0, 128)
+        assert inj.maybe_invalidate() is None
+
+    def test_rate_roughly_respected(self):
+        inj = InvalidationInjector(DeterministicRng(2), 100.0, 128)
+        inj.observe(0x1000)
+        fires = sum(inj.maybe_invalidate() is not None for _ in range(20_000))
+        assert 1500 < fires < 2500  # ~10% of cycles
+
+    def test_targets_stay_within_observed_span(self):
+        inj = InvalidationInjector(DeterministicRng(3), 1000.0, 128)
+        inj.observe(0x10000)
+        inj.observe(0x20000)
+        for _ in range(200):
+            line = inj.maybe_invalidate()
+            if line is not None:
+                assert 0x10000 <= line <= 0x20000
+                assert line % 128 == 0
+
+    def test_single_line_span_degenerates_to_it(self):
+        inj = InvalidationInjector(DeterministicRng(4), 1000.0, 128,
+                                   hot_fraction=1.0)
+        inj.observe(0x1234)
+        for _ in range(50):
+            line = inj.maybe_invalidate()
+            if line is not None:
+                assert line == (0x1234 & ~127)
+
+    def test_history_bounded(self):
+        inj = InvalidationInjector(DeterministicRng(4), 1.0, 128, history=8)
+        for i in range(100):
+            inj.observe(i * 128)
+        assert len(inj._recent_lines) == 8
+
+
+class TestCoherentRuns:
+    def test_invalidations_injected_and_handled(self):
+        cfg = small_config().with_scheme(
+            SchemeConfig(kind="dmdc", coherence=True)
+        ).with_overrides(invalidation_rate=100.0)
+        result = run_workload(cfg, get_workload("gzip"), max_instructions=3000)
+        assert result.committed == 3000
+        assert result.counters["inv.injected"] > 0
+        assert result.counters["inv.received"] == result.counters["inv.injected"]
+
+    def test_invalidations_slow_things_down(self):
+        base_cfg = small_config().with_scheme(SchemeConfig(kind="dmdc", coherence=True))
+        quiet = run_workload(base_cfg, get_workload("gzip"), max_instructions=3000)
+        noisy = run_workload(base_cfg.with_overrides(invalidation_rate=200.0),
+                             get_workload("gzip"), max_instructions=3000)
+        assert noisy.counters["inv.injected"] > 0
+        assert noisy.cycles >= quiet.cycles
+
+    def test_non_coherent_dmdc_ignores_invalidations(self):
+        cfg = small_config().with_scheme(
+            SchemeConfig(kind="dmdc", coherence=False)
+        ).with_overrides(invalidation_rate=100.0)
+        result = run_workload(cfg, get_workload("gzip"), max_instructions=2000)
+        assert result.counters["inv.injected"] > 0
+        assert result.counters["inv.received"] == 0
+
+    def test_coherent_conventional_baseline_runs(self):
+        cfg = small_config().with_scheme(
+            SchemeConfig(kind="conventional", coherence=True)
+        ).with_overrides(invalidation_rate=100.0)
+        result = run_workload(cfg, get_workload("gzip"), max_instructions=2000)
+        assert result.committed == 2000
+        assert result.counters["lq.inv_searches"] > 0

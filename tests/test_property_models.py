@@ -1,0 +1,141 @@
+"""Model-based property tests: components vs executable reference models."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checking_table import CheckingTable
+from repro.core.storesets import StoreSetPredictor
+from repro.mem.cache import Cache, CacheConfig
+from repro.utils.bitops import fold_xor
+
+
+class ReferenceLruCache:
+    """Dict-based LRU reference for the cache timing model."""
+
+    def __init__(self, sets, assoc, line):
+        self.sets = sets
+        self.assoc = assoc
+        self.line = line
+        self._data = {i: OrderedDict() for i in range(sets)}
+
+    def access(self, addr):
+        line = addr // self.line
+        index = line % self.sets
+        ways = self._data[index]
+        hit = line in ways
+        if hit:
+            ways.move_to_end(line)
+        else:
+            ways[line] = True
+            if len(ways) > self.assoc:
+                ways.popitem(last=False)
+        return hit
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 13), max_size=300),
+           st.sampled_from([(512, 1, 64), (1024, 2, 64), (2048, 4, 128)]))
+    def test_hit_miss_sequence_matches(self, addrs, geometry):
+        size, assoc, line = geometry
+        cache = Cache(CacheConfig("c", size, assoc, line, 1))
+        ref = ReferenceLruCache(size // (assoc * line), assoc, line)
+        for addr in addrs:
+            assert cache.access(addr) == ref.access(addr), addr
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 1 << 12)), max_size=200))
+    def test_invalidation_interleaved(self, ops):
+        """Exact LRU reference extended with line invalidation."""
+        cache = Cache(CacheConfig("c", 1024, 2, 64, 1))
+        num_sets = 1024 // (2 * 64)
+        ref = {i: OrderedDict() for i in range(num_sets)}
+        for invalidate, addr in ops:
+            line = addr // 64
+            ways = ref[line % num_sets]
+            if invalidate:
+                was_present = line in ways
+                assert cache.invalidate_line(addr) == was_present
+                ways.pop(line, None)
+            else:
+                hit = line in ways
+                assert cache.access(addr) == hit
+                if hit:
+                    ways.move_to_end(line)
+                else:
+                    ways[line] = True
+                    if len(ways) > 2:
+                        ways.popitem(last=False)
+
+
+class TestCheckingTableNeverForgets:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 255).map(lambda q: q * 8), min_size=1, max_size=40),
+           st.sampled_from([16, 64, 256]))
+    def test_marked_addresses_always_hit(self, addrs, entries):
+        """No false negatives: every marked address hits until cleared."""
+        table = CheckingTable(entries)
+        for addr in addrs:
+            table.mark_store(addr, 8)
+        for addr in addrs:
+            assert table.check_load(addr, 8) == CheckingTable.WRT_HIT
+        table.clear()
+        for addr in addrs:
+            assert table.check_load(addr, 8) == CheckingTable.CLEAR
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, (1 << 40) - 1), st.sampled_from([4, 8, 12]))
+    def test_index_matches_fold(self, addr, bits):
+        table = CheckingTable(1 << bits)
+        assert table.index(addr) == fold_xor(addr >> 3, bits)
+
+
+class TestStoreSetsModel:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(16, 31)),
+                    min_size=1, max_size=30))
+    def test_training_converges_pairwise(self, pairs):
+        """Immediately after (re)training a pair, it shares a set.
+
+        Store-set merging is not transitive (only the two colliding SSIT
+        entries adopt the common id, as in the original hardware design),
+        so repeated violations are what converge a pair — model exactly
+        that.
+        """
+        p = StoreSetPredictor(ssit_entries=256, max_sets=64)
+        for load_i, store_i in pairs:
+            p.record_violation(load_i * 4, store_i * 4)
+            assert p.set_of(load_i * 4) is not None
+            assert p.set_of(load_i * 4) == p.set_of(store_i * 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["train", "dispatch", "resolve", "squash"]),
+                              st.integers(0, 7), st.integers(0, 100)),
+                    max_size=60))
+    def test_lfst_never_blocks_on_resolved_or_squashed(self, ops):
+        p = StoreSetPredictor(ssit_entries=64, max_sets=16)
+        inflight = {}
+        p.record_violation(0x0, 0x4)  # seed one set
+        for kind, pc_i, seq in ops:
+            pc = pc_i * 4
+            if kind == "train":
+                p.record_violation(pc, (pc_i + 8) * 4)
+            elif kind == "dispatch":
+                p.store_dispatched(pc, seq)
+                if p.set_of(pc) is not None:
+                    inflight[p.set_of(pc)] = seq
+            elif kind == "resolve":
+                p.store_resolved(pc, seq)
+                sset = p.set_of(pc)
+                if sset is not None and inflight.get(sset) == seq:
+                    del inflight[sset]
+            else:
+                p.squash(seq)
+                inflight = {s: q for s, q in inflight.items() if q <= seq}
+        # Any blocking answer must correspond to a tracked in-flight store.
+        for pc_i in range(8):
+            blocker = p.blocking_store(pc_i * 4, load_seq=10_000)
+            if blocker is not None:
+                assert blocker in inflight.values()

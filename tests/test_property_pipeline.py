@@ -1,0 +1,107 @@
+"""Property-based whole-pipeline tests.
+
+Hypothesis generates workload parameters (including aggressive aliasing
+and slow store addresses) and the invariants must hold for every scheme:
+
+* no true memory-ordering violation ever retires undetected (the
+  ground-truth checker raises if a scheme misses one);
+* every instruction commits exactly once, in program order;
+* the pipeline always terminates within its cycle guard.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SchemeConfig, small_config
+from repro.sim.processor import Processor
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+N_INSTRUCTIONS = 900
+
+
+@st.composite
+def workload_specs(draw):
+    return WorkloadSpec(
+        name="prop",
+        group=draw(st.sampled_from(["INT", "FP"])),
+        load_fraction=draw(st.floats(0.15, 0.35)),
+        store_fraction=draw(st.floats(0.05, 0.2)),
+        branch_fraction=draw(st.floats(0.05, 0.2)),
+        fp_fraction=draw(st.floats(0.0, 0.6)),
+        working_set_kb=draw(st.sampled_from([16, 64, 256])),
+        store_addr_dep_load=draw(st.floats(0.0, 0.5)),
+        store_addr_dep_alu=draw(st.floats(0.0, 0.5)),
+        load_addr_dep_alu=draw(st.floats(0.0, 0.8)),
+        conflict_per_kinstr=draw(st.floats(0.0, 10.0)),
+        rmw_fraction=draw(st.floats(0.0, 0.3)),
+        branch_bias=draw(st.floats(0.6, 0.99)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+def scheme_configs():
+    return st.sampled_from([
+        SchemeConfig(kind="conventional"),
+        SchemeConfig(kind="yla", yla_registers=2),
+        SchemeConfig(kind="bloom", bloom_entries=64),
+        SchemeConfig(kind="dmdc"),
+        SchemeConfig(kind="dmdc", local=True),
+        SchemeConfig(kind="dmdc", table_entries=32),
+        SchemeConfig(kind="dmdc", checking_queue_entries=4),
+        SchemeConfig(kind="dmdc", safe_loads=False),
+        SchemeConfig(kind="dmdc", coherence=True),
+    ])
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=workload_specs(), scheme=scheme_configs(),
+       wrongpath=st.booleans())
+def test_no_missed_violations_and_full_commit(spec, scheme, wrongpath):
+    workload = SyntheticWorkload(spec)
+    trace = workload.generate(N_INSTRUCTIONS + 200)
+    config = small_config(wrongpath_loads=wrongpath).with_scheme(scheme)
+    proc = Processor(config, trace, seed=spec.seed)
+    result = proc.run(N_INSTRUCTIONS)  # raises OrderingViolationMissed if unsound
+    assert result.committed == N_INSTRUCTIONS
+    assert result.counters["replays"] >= result.counters["replay.true"]
+    assert result.cycles > 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=workload_specs(), rate=st.sampled_from([10.0, 100.0, 300.0]))
+def test_coherent_dmdc_survives_invalidation_storms(spec, rate):
+    workload = SyntheticWorkload(spec)
+    trace = workload.generate(N_INSTRUCTIONS + 200)
+    config = small_config().with_scheme(
+        SchemeConfig(kind="dmdc", coherence=True)
+    ).with_overrides(invalidation_rate=rate)
+    result = Processor(config, trace, seed=3).run(N_INSTRUCTIONS)
+    assert result.committed == N_INSTRUCTIONS
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=workload_specs())
+def test_determinism_across_runs(spec):
+    """Identical (workload, config, seed) produce identical results."""
+    config = small_config().with_scheme(SchemeConfig(kind="dmdc"))
+    a = Processor(config, SyntheticWorkload(spec).generate(700), seed=1).run(500)
+    b = Processor(config, SyntheticWorkload(spec).generate(700), seed=1).run(500)
+    assert a.cycles == b.cycles
+    assert a.counters.as_dict() == b.counters.as_dict()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=workload_specs(), registers=st.sampled_from([1, 2, 8]))
+def test_yla_filtering_never_unsound(spec, registers):
+    """Under arbitrary workloads the YLA-filtered scheme may search less,
+    but the ground-truth checker must stay silent (no missed violations)."""
+    config = small_config(wrongpath_loads=False).with_scheme(
+        SchemeConfig(kind="yla", yla_registers=registers)
+    )
+    trace = SyntheticWorkload(spec).generate(800)
+    result = Processor(config, trace, seed=2).run(600)
+    assert result.committed == 600

@@ -1,0 +1,37 @@
+"""Tests for report assembly."""
+
+import pathlib
+
+from repro.reporting import PAPER_REFERENCE, collect_report, write_report
+
+
+class TestCollectReport:
+    def test_all_experiments_have_references(self):
+        from repro.experiments.registry import EXPERIMENTS
+        for exp_id in EXPERIMENTS:
+            assert exp_id in PAPER_REFERENCE, exp_id
+
+    def test_includes_present_artifacts(self, tmp_path):
+        (tmp_path / "fig2.txt").write_text("FIG2 TABLE CONTENT")
+        text = collect_report(tmp_path)
+        assert "FIG2 TABLE CONTENT" in text
+        assert "## fig2" in text
+        assert "Paper: 71%" in text
+
+    def test_flags_missing_artifacts(self, tmp_path):
+        text = collect_report(tmp_path)
+        assert "not yet measured" in text
+        assert "Missing artifacts" in text
+
+    def test_write_report(self, tmp_path):
+        (tmp_path / "table2.txt").write_text("T2")
+        out = tmp_path / "report.md"
+        text = write_report(tmp_path, str(out))
+        assert out.read_text() == text
+        assert "T2" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "fig4.txt").write_text("FIG4")
+        assert main(["report", "--results", str(tmp_path)]) == 0
+        assert "FIG4" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Unit tests for SimulationResult derived metrics."""
+
+import pytest
+
+from repro.sim.result import FALSE_REPLAY_CATEGORIES, SimulationResult
+from repro.stats.counters import CounterSet, Histogram
+
+
+def mk_result(**counters) -> SimulationResult:
+    c = CounterSet()
+    for name, value in counters.items():
+        c[name.replace("__", ".")] = value
+    return SimulationResult(
+        workload="w", group="INT", config_name="c", scheme_name="dmdc-global",
+        cycles=counters.pop("cycles", 1000), committed=counters.pop("committed", 500),
+        counters=c,
+    )
+
+
+class TestRates:
+    def test_ipc(self):
+        r = mk_result()
+        r.cycles, r.committed = 1000, 2500
+        assert r.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        r = mk_result()
+        r.cycles = 0
+        assert r.ipc == 0.0
+
+    def test_per_minstr(self):
+        r = mk_result(replays=5)
+        r.committed = 1_000_000
+        assert r.per_minstr("replays") == 5.0
+
+    def test_per_minstr_no_commits(self):
+        r = mk_result(replays=5)
+        r.committed = 0
+        assert r.per_minstr("replays") == 0.0
+
+    def test_false_replays_include_overflow(self):
+        r = mk_result(**{"replay__false": 10, "replay__overflow": 2})
+        r.committed = 1_000_000
+        assert r.false_replays_per_minstr == 12.0
+
+    def test_breakdown_covers_all_categories(self):
+        r = mk_result()
+        breakdown = r.false_replay_breakdown()
+        assert set(breakdown) == set(FALSE_REPLAY_CATEGORIES)
+
+
+class TestFractions:
+    def test_safe_store_fraction(self):
+        r = mk_result(**{"stores__resolved": 100, "stores__safe": 80})
+        assert r.safe_store_fraction == pytest.approx(0.8)
+
+    def test_safe_store_fraction_baseline_zero(self):
+        assert mk_result().safe_store_fraction == 0.0
+
+    def test_safe_load_fraction(self):
+        r = mk_result(**{"commit__loads": 50, "commit__safe_loads": 45})
+        assert r.safe_load_fraction == pytest.approx(0.9)
+
+    def test_checking_cycle_fraction(self):
+        r = mk_result(**{"checking__cycles_observed": 200})
+        r.cycles = 1000
+        assert r.checking_cycle_fraction == pytest.approx(0.2)
+
+
+class TestWindowStats:
+    def test_means_from_histograms(self):
+        r = mk_result()
+        r.window_instrs = Histogram()
+        r.window_instrs.add(10)
+        r.window_instrs.add(30)
+        assert r.mean_window_instrs == 20.0
+
+    def test_single_store_fraction(self):
+        r = mk_result()
+        r.window_unsafe_stores = Histogram()
+        r.window_unsafe_stores.add(1)
+        r.window_unsafe_stores.add(1)
+        r.window_unsafe_stores.add(3)
+        assert r.single_unsafe_store_window_fraction == pytest.approx(2 / 3)
+
+    def test_single_store_fraction_empty(self):
+        assert mk_result().single_unsafe_store_window_fraction == 0.0
+
+    def test_summary_is_plain_dict(self):
+        summary = mk_result().summary()
+        assert isinstance(summary, dict)
+        assert all(isinstance(v, (int, float)) for v in summary.values())

@@ -1,0 +1,58 @@
+"""Unit tests for deterministic RNG wrappers."""
+
+from repro.utils.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42, "x")
+        b = DeterministicRng(42, "x")
+        assert [a.randint(0, 1000) for _ in range(20)] == [b.randint(0, 1000) for _ in range(20)]
+
+    def test_purpose_decorrelates(self):
+        a = DeterministicRng(42, "x")
+        b = DeterministicRng(42, "y")
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [b.randint(0, 10 ** 9) for _ in range(5)]
+
+    def test_child_deterministic(self):
+        a = DeterministicRng(7, "root").child("sub")
+        b = DeterministicRng(7, "root").child("sub")
+        assert a.randint(0, 10 ** 9) == b.randint(0, 10 ** 9)
+
+
+class TestDistributions:
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_geometric_nonnegative_and_bounded(self):
+        rng = DeterministicRng(2)
+        samples = [rng.geometric(0.5) for _ in range(500)]
+        assert all(s >= 0 for s in samples)
+        assert max(samples) <= 10_000
+
+    def test_geometric_mean_close(self):
+        rng = DeterministicRng(3)
+        p = 1 / 3  # mean failures = (1-p)/p = 2
+        samples = [rng.geometric(p) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert 1.6 < mean < 2.4
+
+    def test_geometric_guard_tiny_p(self):
+        rng = DeterministicRng(4)
+        assert rng.geometric(1e-12) <= 10_001
+
+    def test_choice_and_choices(self):
+        rng = DeterministicRng(5)
+        seq = [10, 20, 30]
+        assert rng.choice(seq) in seq
+        picks = rng.choices(seq, weights=[1, 0, 0], k=10)
+        assert picks == [10] * 10
+
+    def test_shuffle_permutation(self):
+        rng = DeterministicRng(6)
+        seq = list(range(20))
+        shuffled = list(seq)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == seq

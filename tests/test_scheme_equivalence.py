@@ -1,0 +1,72 @@
+"""Cross-scheme integration: every scheme commits the same program.
+
+Dependence-checking schemes may differ in *when* they detect violations
+and how many false replays they cause, but never in architectural
+outcome: the same instructions commit, in the same order.
+"""
+
+import pytest
+
+from repro.sim.config import SchemeConfig, small_config
+from repro.sim.runner import run_trace
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+SCHEMES = {
+    "conventional": SchemeConfig(kind="conventional"),
+    "yla": SchemeConfig(kind="yla"),
+    "bloom": SchemeConfig(kind="bloom"),
+    "dmdc-global": SchemeConfig(kind="dmdc"),
+    "dmdc-local": SchemeConfig(kind="dmdc", local=True),
+    "dmdc-queue": SchemeConfig(kind="dmdc", checking_queue_entries=16),
+}
+
+
+@pytest.fixture(scope="module")
+def stress_trace():
+    """A conflict-heavy synthetic workload to exercise replays."""
+    spec = WorkloadSpec(name="stress", working_set_kb=32, conflict_per_kinstr=4.0,
+                        store_addr_dep_load=0.15, seed=11)
+    return SyntheticWorkload(spec).generate(2500)
+
+
+class TestArchitecturalEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_all_instructions_commit(self, name, stress_trace):
+        config = small_config(wrongpath_loads=False).with_scheme(SCHEMES[name])
+        result = run_trace(config, stress_trace, max_instructions=2000)
+        assert result.committed == 2000
+        assert result.counters["replays"] >= result.counters["replay.true"]
+
+    def test_same_violations_found_by_all(self, stress_trace):
+        """Ground-truth violation counts are scheme-independent up to timing
+        perturbation; every scheme must replay at least its true violations."""
+        for name, scheme in SCHEMES.items():
+            config = small_config(wrongpath_loads=False).with_scheme(scheme)
+            result = run_trace(config, stress_trace, max_instructions=2000)
+            if result.counters["groundtruth.violations"]:
+                assert result.counters["replays"] > 0, name
+
+    def test_dmdc_false_replays_only_add_cycles(self, stress_trace):
+        base_cfg = small_config(wrongpath_loads=False)
+        base = run_trace(base_cfg, stress_trace, max_instructions=2000)
+        dmdc = run_trace(base_cfg.with_scheme(SCHEMES["dmdc-global"]),
+                         stress_trace, max_instructions=2000)
+        assert dmdc.committed == base.committed
+        # Commit-time detection may cost cycles but stays within a few percent.
+        assert dmdc.cycles < base.cycles * 1.25
+
+    def test_filtered_schemes_never_search_more_than_baseline(self, stress_trace):
+        base_cfg = small_config(wrongpath_loads=False)
+        base = run_trace(base_cfg, stress_trace, max_instructions=2000)
+        for name in ("yla", "bloom"):
+            filt = run_trace(base_cfg.with_scheme(SCHEMES[name]),
+                             stress_trace, max_instructions=2000)
+            assert (
+                filt.counters["lq.searches_assoc"]
+                <= base.counters["lq.searches_assoc"] * 1.05
+            ), name
+
+    def test_dmdc_never_searches_lq(self, stress_trace):
+        cfg = small_config(wrongpath_loads=False).with_scheme(SCHEMES["dmdc-global"])
+        result = run_trace(cfg, stress_trace, max_instructions=2000)
+        assert result.counters["lq.searches_assoc"] == 0

@@ -1,0 +1,86 @@
+"""Round-trip tests for binary trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.isa.serialize import (
+    load_trace,
+    load_trace_file,
+    save_trace,
+    save_trace_file,
+)
+from repro.isa.trace import validate_trace
+from repro.workloads import SyntheticWorkload, WorkloadSpec, get_workload
+
+
+def roundtrip(trace):
+    buf = io.BytesIO()
+    save_trace(trace, buf)
+    buf.seek(0)
+    return load_trace(buf, name=trace.name)
+
+
+def traces_equal(a, b):
+    assert len(a) == len(b) and a.group == b.group
+    for oa, ob in zip(a, b):
+        assert (oa.pc, oa.cls, oa.srcs, oa.dst, oa.mem_addr, oa.mem_size,
+                oa.data_src, oa.taken, oa.target) == \
+               (ob.pc, ob.cls, ob.srcs, ob.dst, ob.mem_addr, ob.mem_size,
+                ob.data_src, ob.taken, ob.target)
+
+
+class TestRoundTrip:
+    def test_workload_trace(self):
+        trace = get_workload("gzip").generate(500)
+        traces_equal(trace, roundtrip(trace))
+
+    def test_fp_group_preserved(self):
+        trace = get_workload("swim").generate(200)
+        assert roundtrip(trace).group == "FP"
+
+    def test_file_helpers(self, tmp_path):
+        trace = get_workload("mcf").generate(300)
+        path = str(tmp_path / "t.dmdc")
+        n = save_trace_file(trace, path)
+        assert n == (tmp_path / "t.dmdc").stat().st_size
+        loaded = load_trace_file(path)
+        traces_equal(trace, loaded)
+        validate_trace(loaded)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 9999), n=st.integers(10, 300))
+    def test_roundtrip_property(self, seed, n):
+        spec = WorkloadSpec(name="rt", seed=seed)
+        trace = SyntheticWorkload(spec).generate(n)
+        traces_equal(trace, roundtrip(trace))
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceError, match="magic"):
+            load_trace(io.BytesIO(b"NOPE" + b"\x00" * 12))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceError, match="truncated"):
+            load_trace(io.BytesIO(b"DM"))
+
+    def test_truncated_body(self):
+        trace = get_workload("gzip").generate(50)
+        buf = io.BytesIO()
+        save_trace(trace, buf)
+        data = buf.getvalue()[:-10]
+        with pytest.raises(TraceError, match="truncated trace at record"):
+            load_trace(io.BytesIO(data))
+
+    def test_bad_version(self):
+        trace = get_workload("gzip").generate(5)
+        buf = io.BytesIO()
+        save_trace(trace, buf)
+        data = bytearray(buf.getvalue())
+        data[4] = 99  # version byte
+        with pytest.raises(TraceError, match="version"):
+            load_trace(io.BytesIO(bytes(data)))

@@ -1,0 +1,96 @@
+"""Tests for the store-set dependence predictor (extension)."""
+
+import pytest
+
+from repro.core.storesets import StoreSetPredictor
+from repro.errors import ConfigError
+from repro.sim.config import SchemeConfig, small_config
+from repro.sim.runner import run_trace
+from repro.workloads import SyntheticWorkload, WorkloadSpec
+
+
+class TestPredictorUnit:
+    def test_unknown_pcs_never_block(self):
+        p = StoreSetPredictor()
+        assert p.blocking_store(0x100, load_seq=50) is None
+
+    def test_violation_creates_shared_set(self):
+        p = StoreSetPredictor()
+        p.record_violation(load_pc=0x100, store_pc=0x200)
+        assert p.set_of(0x100) is not None
+        assert p.set_of(0x100) == p.set_of(0x200)
+
+    def test_inflight_store_blocks_trained_load(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.store_dispatched(0x200, store_seq=10)
+        assert p.blocking_store(0x100, load_seq=20) == 10
+        assert p.delays == 1
+
+    def test_older_loads_not_blocked(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.store_dispatched(0x200, store_seq=30)
+        assert p.blocking_store(0x100, load_seq=20) is None
+
+    def test_resolution_unblocks(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.store_dispatched(0x200, 10)
+        p.store_resolved(0x200, 10)
+        assert p.blocking_store(0x100, 20) is None
+
+    def test_squash_clears_younger_stores(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.store_dispatched(0x200, 50)
+        p.squash(last_kept_seq=40)
+        assert p.blocking_store(0x100, 60) is None
+
+    def test_set_merging(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.record_violation(0x300, 0x400)
+        p.record_violation(0x100, 0x400)  # joins the two sets
+        assert p.merges == 1
+        assert p.set_of(0x100) == p.set_of(0x400)
+
+    def test_joining_existing_set(self):
+        p = StoreSetPredictor()
+        p.record_violation(0x100, 0x200)
+        p.record_violation(0x100, 0x300)  # store joins load's set
+        assert p.set_of(0x300) == p.set_of(0x100)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            StoreSetPredictor(ssit_entries=100)
+        with pytest.raises(ConfigError):
+            StoreSetPredictor(max_sets=0)
+
+
+class TestIntegration:
+    @pytest.fixture(scope="class")
+    def stress_trace(self):
+        spec = WorkloadSpec(name="alias", conflict_per_kinstr=10.0, seed=3)
+        return SyntheticWorkload(spec).generate(4000)
+
+    def _run(self, trace, store_sets):
+        cfg = small_config(wrongpath_loads=False).with_scheme(
+            SchemeConfig(kind="dmdc", store_sets=store_sets)
+        )
+        return run_trace(cfg, trace, max_instructions=3500)
+
+    def test_prediction_reduces_true_replays(self, stress_trace):
+        off = self._run(stress_trace, False)
+        on = self._run(stress_trace, True)
+        assert off.counters["replay.true"] > 0
+        assert on.counters["replay.true"] < off.counters["replay.true"]
+        assert on.counters["storesets.load_delays"] > 0
+
+    def test_prediction_keeps_soundness(self, stress_trace):
+        on = self._run(stress_trace, True)  # ground-truth checker active
+        assert on.committed == 3500
+
+    def test_predictor_counters_exported(self, stress_trace):
+        on = self._run(stress_trace, True)
+        assert on.counters["storesets.violations_recorded"] > 0

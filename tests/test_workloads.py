@@ -1,0 +1,125 @@
+"""Tests for the synthetic workload suite."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.trace import validate_trace
+from repro.workloads import (
+    FP_WORKLOADS,
+    INT_WORKLOADS,
+    SUITE,
+    SyntheticWorkload,
+    WorkloadSpec,
+    get_workload,
+    group_of,
+    suite_subset,
+)
+
+
+class TestSuiteShape:
+    def test_full_spec2000_lineup(self):
+        assert len(INT_WORKLOADS) == 12
+        assert len(FP_WORKLOADS) == 14
+        assert len(SUITE) == 26
+
+    def test_known_names(self):
+        for name in ("gzip", "mcf", "swim", "art", "sixtrack"):
+            assert name in SUITE
+
+    def test_groups(self):
+        assert group_of("gzip") == "INT"
+        assert group_of("swim") == "FP"
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            get_workload("doom3")
+
+    def test_suite_subset(self):
+        sub = suite_subset(2)
+        assert len(sub) == 4
+        assert sub[0] in INT_WORKLOADS and sub[-1] in FP_WORKLOADS
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        w = get_workload("gzip")
+        a, b = w.generate(500), w.generate(500)
+        assert len(a) == len(b)
+        for oa, ob in zip(a, b):
+            assert (oa.pc, oa.cls, oa.srcs, oa.dst, oa.mem_addr, oa.mem_size,
+                    oa.taken) == (ob.pc, ob.cls, ob.srcs, ob.dst, ob.mem_addr,
+                                  ob.mem_size, ob.taken)
+
+    def test_different_workloads_differ(self):
+        a = get_workload("gzip").generate(300)
+        b = get_workload("mcf").generate(300)
+        assert [o.cls for o in a] != [o.cls for o in b]
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_every_workload_validates(self, name):
+        trace = get_workload(name).generate(400)
+        validate_trace(trace)
+        assert len(trace) >= 400
+
+    def test_mix_tracks_spec(self):
+        spec = get_workload("gzip").spec
+        mix = get_workload("gzip").generate(6000).mix()
+        load_frac = mix.get("LOAD", 0)
+        # Fresh index emission dilutes fractions; allow a generous band.
+        assert 0.5 * spec.load_fraction < load_frac < 1.5 * spec.load_fraction
+        assert mix.get("BRANCH", 0) > 0.03
+
+    def test_fp_workloads_contain_fp_ops(self):
+        mix = get_workload("swim").generate(4000).mix()
+        assert mix.get("FALU", 0) + mix.get("FMUL", 0) > 0.1
+
+    def test_int_workloads_have_no_fp(self):
+        mix = get_workload("gzip").generate(4000).mix()
+        assert mix.get("FALU", 0) + mix.get("FMUL", 0) == 0
+
+    def test_addresses_aligned(self):
+        for op in get_workload("vortex").generate(2000):
+            if op.is_mem:
+                assert op.mem_addr % op.mem_size == 0
+
+    def test_working_set_respected(self):
+        spec = get_workload("gzip").spec
+        limit = 0x1000_0000 + spec.n_arrays * 0x0100_0000
+        for op in get_workload("gzip").generate(2000):
+            if op.is_mem:
+                assert 0x1000_0000 <= op.mem_addr < limit
+
+
+class TestSpecValidation:
+    def test_rejects_bad_group(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="x", group="VEC")
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="x", load_fraction=0.6, store_fraction=0.3,
+                         branch_fraction=0.2)
+
+    def test_rejects_empty_patterns(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="x", pattern_weights={})
+
+    def test_custom_spec_generates(self):
+        spec = WorkloadSpec(name="custom", working_set_kb=64, seed=3)
+        trace = SyntheticWorkload(spec).generate(300)
+        validate_trace(trace)
+
+    def test_conflict_kernel_emits_aliasing_pair(self):
+        spec = WorkloadSpec(name="conflicty", conflict_per_kinstr=20.0, seed=5)
+        trace = SyntheticWorkload(spec).generate(3000)
+        # find a store closely followed by a load to the same address
+        found = False
+        ops = list(trace)
+        for i, op in enumerate(ops):
+            if op.is_store:
+                for later in ops[i + 1:i + 14]:
+                    if later.is_load and later.mem_addr == op.mem_addr:
+                        found = True
+        assert found

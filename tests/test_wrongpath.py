@@ -1,0 +1,53 @@
+"""Unit tests for the wrong-path load injection model."""
+
+from repro.frontend.wrongpath import WrongPathModel
+from repro.utils.rng import DeterministicRng
+
+
+def make(enabled=True, mean=2.0):
+    return WrongPathModel(DeterministicRng(1, "wp"), mean_loads_per_mispredict=mean,
+                          enabled=enabled)
+
+
+class TestWrongPath:
+    def test_disabled_injects_nothing(self):
+        wp = make(enabled=False)
+        wp.observe_address(0x1000)
+        assert wp.loads_for_mispredict(10) == []
+
+    def test_needs_observed_addresses(self):
+        wp = make()
+        assert wp.loads_for_mispredict(10) == []
+
+    def test_ages_strictly_younger_than_branch(self):
+        wp = make(mean=4.0)
+        wp.observe_address(0x1000)
+        for _ in range(50):
+            for age, _ in wp.loads_for_mispredict(100):
+                assert age > 100
+
+    def test_addresses_near_working_set(self):
+        wp = make(mean=4.0)
+        wp.observe_address(0x10_0000)
+        for _ in range(50):
+            for _, addr in wp.loads_for_mispredict(5):
+                assert abs(addr - 0x10_0000) <= wp.address_spread
+                assert addr % 8 == 0 or addr >= 0
+
+    def test_mean_burst_size_tracks_parameter(self):
+        wp = make(mean=3.0)
+        wp.observe_address(0x1000)
+        total = sum(len(wp.loads_for_mispredict(1)) for _ in range(2000))
+        assert 2.0 < total / 2000 < 4.0
+
+    def test_injection_counter(self):
+        wp = make(mean=5.0)
+        wp.observe_address(0x1000)
+        n = sum(len(wp.loads_for_mispredict(1)) for _ in range(20))
+        assert wp.injected == n
+
+    def test_history_bounded(self):
+        wp = make()
+        for i in range(100):
+            wp.observe_address(i * 64)
+        assert len(wp._recent_addrs) <= 32

@@ -1,0 +1,107 @@
+"""Unit and property tests for the YLA register file (paper Section 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.yla import NO_LOAD, YlaFile
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_initially_everything_safe(self):
+        yla = YlaFile(8)
+        assert yla.store_is_safe(0x100, store_age=0)
+        assert yla.youngest_for(0x100) == NO_LOAD
+
+    def test_younger_load_makes_store_unsafe(self):
+        yla = YlaFile(1)
+        yla.observe_load_issue(0x100, age=10)
+        assert not yla.store_is_safe(0x200, store_age=5)   # younger load seen
+        assert yla.store_is_safe(0x200, store_age=15)      # store younger
+
+    def test_banking_isolates_addresses(self):
+        yla = YlaFile(8, granularity_bytes=8)
+        yla.observe_load_issue(0x100, age=10)  # bank of 0x100
+        other = 0x100 + 8  # adjacent quad word -> different bank
+        assert yla.bank(0x100) != yla.bank(other)
+        assert yla.store_is_safe(other, store_age=5)
+        assert not yla.store_is_safe(0x100, store_age=5)
+
+    def test_granularity_line(self):
+        yla = YlaFile(8, granularity_bytes=128)
+        assert yla.bank(0x100) == yla.bank(0x100 + 64)   # same line
+        assert yla.bank(0x100) != yla.bank(0x100 + 128)
+
+    def test_monotone_updates(self):
+        yla = YlaFile(1)
+        yla.observe_load_issue(0, age=10)
+        yla.observe_load_issue(0, age=5)  # older: ignored
+        assert yla.youngest_for(0) == 10
+
+    def test_rollback_clamps(self):
+        yla = YlaFile(2)
+        yla.observe_load_issue(0, age=10)
+        yla.observe_load_issue(8, age=3)
+        yla.rollback(5)
+        assert yla.youngest_for(0) == 5
+        assert yla.youngest_for(8) == 3  # already older: untouched
+
+    def test_hit_rate_counting(self):
+        yla = YlaFile(1)
+        yla.observe_load_issue(0, age=10)
+        yla.store_is_safe(0, 20)
+        yla.store_is_safe(0, 5)
+        assert yla.compares == 2 and yla.hits == 1
+        assert yla.hit_rate == 0.5
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            YlaFile(3)
+        with pytest.raises(ConfigError):
+            YlaFile(8, granularity_bytes=12)
+
+    def test_snapshot_is_copy(self):
+        yla = YlaFile(2)
+        snap = yla.snapshot()
+        snap[0] = 99
+        assert yla.youngest_for(0) == NO_LOAD
+
+
+@st.composite
+def load_histories(draw):
+    """A sequence of (addr, age) load issues with increasing ages, plus
+    occasional rollbacks."""
+    events = []
+    age = 0
+    for _ in range(draw(st.integers(1, 40))):
+        if draw(st.booleans()):
+            age += draw(st.integers(1, 5))
+            events.append(("load", draw(st.integers(0, 63)) * 8, age))
+        else:
+            events.append(("rollback", draw(st.integers(0, max(age, 1))), None))
+    return events
+
+
+class TestSoundness:
+    @given(load_histories(), st.integers(1, 4), st.integers(0, 63), st.integers(0, 200))
+    def test_yla_hit_is_sound(self, events, banks_log2, store_qw, store_age):
+        """If YLA declares a store safe, no surviving issued load younger
+        than the store exists in the store's bank (reference model)."""
+        yla = YlaFile(1 << banks_log2, granularity_bytes=8)
+        live_loads = []  # (addr, age) surviving issued loads
+        for kind, a, b in events:
+            if kind == "load":
+                yla.observe_load_issue(a, b)
+                live_loads.append((a, b))
+            else:
+                yla.rollback(a)
+                live_loads = [(addr, age) for addr, age in live_loads if age <= a]
+        store_addr = store_qw * 8
+        if yla.store_is_safe(store_addr, store_age):
+            bank = yla.bank(store_addr)
+            offenders = [
+                (addr, age) for addr, age in live_loads
+                if yla.bank(addr) == bank and age > store_age
+            ]
+            assert offenders == []
