@@ -12,7 +12,9 @@ Commands:
 ``compare``
     Run baseline and DMDC side by side with the energy verdict.
 ``experiment``
-    Regenerate one table/figure of the paper by id (see ``--list``).
+    Regenerate one table/figure of the paper by id (see ``--list``), or
+    every registered artifact in one planned, deduplicated, cached sweep
+    (``--all``).
 ``trace``
     Generate, save, load, and inspect binary traces.
 ``timeline``
@@ -21,7 +23,9 @@ Commands:
 
 import argparse
 import json
+import os
 import sys
+import time
 
 from repro.energy.model import EnergyModel
 from repro.isa.serialize import load_trace_file, save_trace_file
@@ -152,8 +156,65 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _engine_progress(done: int, total: int, request, source: str) -> None:
+    width = len(str(total))
+    print(f"  [{done:>{width}}/{total}] {source:5s} {request.workload_name} "
+          f"on {request.config.name}:{request.config.scheme.kind}",
+          file=sys.stderr)
+
+
+def cmd_experiment_all(args) -> int:
+    from repro.exec import get_engine, plan_experiments, union_requests, use_engine
+    from repro.experiments.registry import run_experiment
+
+    engine = get_engine()
+    start = time.perf_counter()
+    plans = plan_experiments(budget=args.budget)
+    union = union_requests(plans)
+    planned = sum(len(plan.requests) for plan in plans)
+    print(f"engine: {planned} design points across {len(plans)} experiments "
+          f"-> {len(union)} unique ({planned - len(union)} duplicates folded)",
+          file=sys.stderr)
+
+    before = dict(engine.stats.summary())
+    engine.progress = _engine_progress
+    try:
+        engine.run(union)
+    finally:
+        engine.progress = None
+    sweep_wall = time.perf_counter() - start
+
+    with use_engine(engine):
+        for plan in plans:
+            kwargs = {"budget": args.budget} if args.budget else {}
+            _, text = run_experiment(plan.id, **kwargs)
+            print(text)
+            print()
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                with open(os.path.join(args.out, f"{plan.id}.txt"), "w") as fh:
+                    fh.write(text + "\n")
+    if args.out:
+        print(f"wrote {len(plans)} artifacts to {args.out}", file=sys.stderr)
+
+    after = engine.stats.summary()
+    executed = int(after["executed"] - before["executed"])
+    disk_hits = int(after["disk_hits"] - before["disk_hits"])
+    hit_rate = 100.0 * disk_hits / len(union) if union else 0.0
+    print(f"engine: {disk_hits} disk cache hits, {executed} simulated; "
+          f"cache hit rate {hit_rate:.1f}%; sweep {sweep_wall:.1f}s, "
+          f"total {time.perf_counter() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments.registry import EXPERIMENTS, run_experiment
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+    if args.jobs is not None:
+        os.environ["REPRO_PARALLEL"] = str(args.jobs)
+    if args.all:
+        return cmd_experiment_all(args)
     if args.list or not args.id:
         for exp in EXPERIMENTS.values():
             print(f"  {exp.id:16s} {exp.paper_artifact}")
@@ -228,6 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", nargs="?")
     p.add_argument("--list", action="store_true")
     p.add_argument("--budget", type=int, default=None)
+    p.add_argument("--all", action="store_true",
+                   help="plan the union of every experiment's design points "
+                        "and regenerate all artifacts in one deduplicated, "
+                        "cached sweep")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the disk result cache for this invocation")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="simulation worker processes (0 = serial; "
+                        "default min(cpus, 12))")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="with --all, also write each rendered artifact to "
+                        "DIR/<id>.txt")
 
     p = sub.add_parser("trace", help="generate or inspect binary traces")
     p.add_argument("--workload", default="gzip")

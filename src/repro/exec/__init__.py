@@ -1,0 +1,41 @@
+"""Shared execution engine: canonical run requests, a content-addressed
+disk result cache, and a deduplicating planner/executor that every
+experiment runs through (see :mod:`repro.experiments.common`)."""
+
+from repro.exec.cache import ResultCache, default_cache, default_cache_dir
+from repro.exec.engine import (
+    EngineStats,
+    ExecutionEngine,
+    get_engine,
+    set_engine,
+    shutdown_engine,
+    use_engine,
+    worker_count,
+)
+from repro.exec.planner import (
+    PlannedExperiment,
+    plan_experiments,
+    run_all,
+    union_requests,
+)
+from repro.exec.request import CACHE_SCHEMA_VERSION, RunRequest, simulator_fingerprint
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "EngineStats",
+    "ExecutionEngine",
+    "PlannedExperiment",
+    "ResultCache",
+    "RunRequest",
+    "default_cache",
+    "default_cache_dir",
+    "get_engine",
+    "plan_experiments",
+    "run_all",
+    "set_engine",
+    "shutdown_engine",
+    "simulator_fingerprint",
+    "union_requests",
+    "use_engine",
+    "worker_count",
+]

@@ -1,0 +1,271 @@
+"""Deduplicating, caching executor shared by every experiment.
+
+The engine takes batches of :class:`RunRequest`s, folds duplicates,
+serves repeats from an in-process memo or the disk cache, and simulates
+the remainder on one persistent process pool — torn down at interpreter
+exit, not after every suite, so back-to-back experiments reuse warm
+workers.  Worker failures are re-raised as :class:`SimulationError`
+naming the exact (config, workload, budget, seed) job that died.
+"""
+
+import atexit
+import os
+import time
+from contextlib import contextmanager
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.exec.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV, ResultCache, default_cache
+from repro.exec.request import RunRequest
+from repro.sim.result import SimulationResult
+from repro.sim.runner import run_workload
+
+#: ``REPRO_PARALLEL`` sets the worker count: 0 or 1 forces serial
+#: execution; unset picks ``min(cpu_count, 12)``.
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: Progress callback: (done, total, request, source) with source one of
+#: ``"memo"``, ``"cache"``, ``"run"``.
+ProgressFn = Callable[[int, int, RunRequest, str], None]
+
+
+def worker_count() -> int:
+    raw = os.environ.get(PARALLEL_ENV)
+    if raw is None or raw == "":
+        return min(os.cpu_count() or 1, 12)
+    try:
+        n = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{PARALLEL_ENV} must be an integer worker count, got {raw!r}"
+        ) from None
+    return max(1, n)
+
+
+def _execute(request: RunRequest) -> SimulationResult:
+    """Run one request; module-level so process pools can pickle it."""
+    return run_workload(
+        request.config,
+        request.resolve_workload(),
+        max_instructions=request.budget,
+        seed=request.seed,
+    )
+
+
+@dataclass
+class EngineStats:
+    """Cumulative planning/caching/execution accounting for one engine."""
+
+    requested: int = 0      # requests submitted, duplicates included
+    unique: int = 0         # distinct design points after dedup
+    memo_hits: int = 0      # served from the in-process memo
+    disk_hits: int = 0      # served from the disk cache
+    executed: int = 0       # actually simulated
+    wall_seconds: float = 0.0
+
+    @property
+    def duplicates(self) -> int:
+        return self.requested - self.unique
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique points served without simulating."""
+        if not self.unique:
+            return 0.0
+        return (self.memo_hits + self.disk_hits) / self.unique
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requested": self.requested,
+            "unique": self.unique,
+            "duplicates": self.duplicates,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "executed": self.executed,
+            "hit_rate": self.hit_rate,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+class ExecutionEngine:
+    """Plans, dedupes, caches, and runs batches of simulation requests."""
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 max_workers: Optional[int] = None,
+                 progress: Optional[ProgressFn] = None):
+        self.cache = cache
+        self.max_workers = max_workers if max_workers is not None else worker_count()
+        self.progress = progress
+        self.stats = EngineStats()
+        self._memo: Dict[str, SimulationResult] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+    def run(self, requests: Sequence[RunRequest]) -> List[SimulationResult]:
+        """Results for ``requests``, in order, simulating each unique point
+        at most once (ever, given the disk cache)."""
+        requests = list(requests)
+        start = time.perf_counter()
+        keys = [request.cache_key() for request in requests]
+        unique: Dict[str, RunRequest] = {}
+        for key, request in zip(keys, requests):
+            unique.setdefault(key, request)
+        self.stats.requested += len(requests)
+        self.stats.unique += len(unique)
+
+        total = len(unique)
+        done = 0
+        results: Dict[str, SimulationResult] = {}
+        pending: List[Tuple[str, RunRequest]] = []
+        for key, request in unique.items():
+            hit, source = self._lookup(key, request)
+            if hit is None:
+                pending.append((key, request))
+                continue
+            results[key] = hit
+            done += 1
+            self._report(done, total, request, source)
+
+        for key, request, result in self._run_pending(pending):
+            self._memo[key] = result
+            if self.cache is not None:
+                self.cache.put(request, result, key=key)
+            self.stats.executed += 1
+            results[key] = result
+            done += 1
+            self._report(done, total, request, "run")
+
+        self.stats.wall_seconds += time.perf_counter() - start
+        return [results[key] for key in keys]
+
+    def _lookup(self, key: str, request: RunRequest):
+        if key in self._memo:
+            self.stats.memo_hits += 1
+            return self._memo[key], "memo"
+        if self.cache is not None:
+            result = self.cache.get(request, key=key)
+            if result is not None:
+                self._memo[key] = result
+                self.stats.disk_hits += 1
+                return result, "cache"
+        return None, None
+
+    def _run_pending(self, pending: List[Tuple[str, RunRequest]]):
+        if not pending:
+            return
+        if self.max_workers <= 1 or len(pending) == 1:
+            for key, request in pending:
+                yield key, request, self._execute_with_context(request)
+            return
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_execute, request): (key, request) for key, request in pending
+        }
+        try:
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    key, request = futures.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        raise SimulationError(
+                            f"simulation failed for {request.describe()}: {exc}"
+                        ) from exc
+                    yield key, request, future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    @staticmethod
+    def _execute_with_context(request: RunRequest) -> SimulationResult:
+        try:
+            return _execute(request)
+        except Exception as exc:
+            raise SimulationError(
+                f"simulation failed for {request.describe()}: {exc}"
+            ) from exc
+
+    def _report(self, done: int, total: int, request: RunRequest, source: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, request, source)
+
+
+# -- shared default engine ----------------------------------------------
+_default_engine: Optional[ExecutionEngine] = None
+_default_settings: Optional[Tuple] = None
+
+
+def _env_settings() -> Tuple:
+    return (
+        os.environ.get(CACHE_DIR_ENV),
+        os.environ.get(CACHE_ENABLE_ENV),
+        os.environ.get(PARALLEL_ENV),
+    )
+
+
+def get_engine() -> ExecutionEngine:
+    """The process-wide engine, rebuilt if the environment changed.
+
+    Sharing one engine across experiments is what turns N overlapping
+    sweeps into one deduplicated one: its memo and pool persist between
+    ``run_suite`` calls.
+    """
+    global _default_engine, _default_settings
+    settings = _env_settings()
+    if _default_engine is None or settings != _default_settings:
+        if _default_engine is not None:
+            _default_engine.close()
+        _default_engine = ExecutionEngine(cache=default_cache())
+        _default_settings = settings
+    return _default_engine
+
+
+def set_engine(engine: Optional[ExecutionEngine]) -> None:
+    """Replace the process-wide engine (tests, custom CLI wiring)."""
+    global _default_engine, _default_settings
+    if _default_engine is not None and _default_engine is not engine:
+        _default_engine.close()
+    _default_engine = engine
+    _default_settings = _env_settings() if engine is not None else None
+
+
+@contextmanager
+def use_engine(engine: ExecutionEngine):
+    """Temporarily make ``engine`` the process-wide default.
+
+    Unlike :func:`set_engine`, the previous default is restored (and not
+    closed) on exit — for scoped wiring like the CLI's ``--all`` sweep.
+    """
+    global _default_engine, _default_settings
+    prev, prev_settings = _default_engine, _default_settings
+    _default_engine, _default_settings = engine, _env_settings()
+    try:
+        yield engine
+    finally:
+        _default_engine, _default_settings = prev, prev_settings
+
+
+def shutdown_engine() -> None:
+    set_engine(None)
+
+
+atexit.register(shutdown_engine)

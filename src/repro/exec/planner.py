@@ -1,0 +1,70 @@
+"""Cross-experiment run planning: union, dedupe, execute once, fan out.
+
+Every experiment module declares its design points through a ``plan``
+function (see :mod:`repro.experiments.registry`).  The planner collects
+those requests for any set of experiments, folds shared points — the
+conventional baseline suite alone is requested by half a dozen paper
+artifacts — and warms the engine with one batch.  The experiments' own
+``run`` functions then execute against a fully-primed memo, so rendering
+all 17 artifacts costs exactly one simulation per unique design point.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.engine import ExecutionEngine, get_engine, use_engine
+from repro.exec.request import RunRequest
+
+
+@dataclass
+class PlannedExperiment:
+    """One experiment's contribution to the sweep."""
+
+    id: str
+    paper_artifact: str
+    requests: List[RunRequest]
+
+
+def plan_experiments(exp_ids: Optional[Sequence[str]] = None,
+                     budget: Optional[int] = None) -> List[PlannedExperiment]:
+    """Collect every named experiment's design points (all when ``None``)."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    plans = []
+    for exp_id, exp in EXPERIMENTS.items():
+        if exp_ids is not None and exp_id not in exp_ids:
+            continue
+        requests = exp.plan(budget=budget) if exp.plan is not None else []
+        plans.append(PlannedExperiment(exp_id, exp.paper_artifact, list(requests)))
+    return plans
+
+
+def union_requests(plans: Sequence[PlannedExperiment]) -> List[RunRequest]:
+    """Deduplicated union of all planned points, first-seen order."""
+    seen: Dict[str, RunRequest] = {}
+    for plan in plans:
+        for request in plan.requests:
+            seen.setdefault(request.cache_key(), request)
+    return list(seen.values())
+
+
+def run_all(exp_ids: Optional[Sequence[str]] = None,
+            budget: Optional[int] = None,
+            engine: Optional[ExecutionEngine] = None) -> List[Tuple[str, Dict, str]]:
+    """Plan, execute, and render experiments in one deduplicated sweep.
+
+    Returns ``(experiment id, data, rendered text)`` triples.  Execution
+    statistics accumulate on the engine's ``stats``.
+    """
+    from repro.experiments.registry import run_experiment
+
+    engine = engine if engine is not None else get_engine()
+    plans = plan_experiments(exp_ids, budget=budget)
+    with use_engine(engine):
+        engine.run(union_requests(plans))
+        rendered = []
+        for plan in plans:
+            kwargs = {"budget": budget} if budget is not None else {}
+            data, text = run_experiment(plan.id, **kwargs)
+            rendered.append((plan.id, data, text))
+    return rendered

@@ -7,6 +7,24 @@ wrapper around these functions; EXPERIMENTS.md records paper-vs-measured
 for each one.
 """
 
-from repro.experiments.common import run_suite, suite_workloads, group_means
+from repro.experiments.common import (
+    group_means,
+    plan_suite,
+    plan_suite_many,
+    run_point,
+    run_requests,
+    run_suite,
+    run_suite_many,
+    suite_workloads,
+)
 
-__all__ = ["run_suite", "suite_workloads", "group_means"]
+__all__ = [
+    "group_means",
+    "plan_suite",
+    "plan_suite_many",
+    "run_point",
+    "run_requests",
+    "run_suite",
+    "run_suite_many",
+    "suite_workloads",
+]

@@ -10,9 +10,9 @@ prediction should be a wash on (a) and suppress most true replays on (b).
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_point, plan_suite_many, run_point, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
-from repro.sim.runner import instruction_budget, run_workload
+from repro.sim.runner import instruction_budget
 from repro.stats.report import format_table
 from repro.workloads import SyntheticWorkload, WorkloadSpec
 
@@ -24,16 +24,27 @@ def _stress_workload() -> SyntheticWorkload:
     ))
 
 
+_VARIANTS = (("off", SchemeConfig(kind="dmdc")),
+             ("on", SchemeConfig(kind="dmdc", store_sets=True)))
+
+
+def _sweep(config=CONFIG2) -> Dict:
+    return {variant: config.with_scheme(scheme) for variant, scheme in _VARIANTS}
+
+
+def plan_ablation_storesets(budget: Optional[int] = None, config=CONFIG2):
+    budget = budget if budget is not None else instruction_budget()
+    requests = plan_suite_many(_sweep(config), budget=budget)
+    stress = _stress_workload()
+    for _, scheme in _VARIANTS:
+        requests.append(plan_point(config.with_scheme(scheme), stress, budget=budget))
+    return requests
+
+
 def run_ablation_storesets(budget: Optional[int] = None, config=CONFIG2) -> Dict:
     """DMDC with/without store-set prediction, suite + stress workload."""
     budget = budget if budget is not None else instruction_budget()
-    sweeps = run_suite_many(
-        {
-            "off": config.with_scheme(SchemeConfig(kind="dmdc")),
-            "on": config.with_scheme(SchemeConfig(kind="dmdc", store_sets=True)),
-        },
-        budget=budget,
-    )
+    sweeps = run_suite_many(_sweep(config), budget=budget)
     rows = []
     for variant in ("off", "on"):
         groups: Dict[str, Dict[str, list]] = {}
@@ -49,10 +60,8 @@ def run_ablation_storesets(budget: Optional[int] = None, config=CONFIG2) -> Dict
             })
     # Engineered stress case.
     stress = _stress_workload()
-    for variant, scheme in (("off", SchemeConfig(kind="dmdc")),
-                            ("on", SchemeConfig(kind="dmdc", store_sets=True))):
-        result = run_workload(config.with_scheme(scheme), stress,
-                              max_instructions=budget)
+    for variant, scheme in _VARIANTS:
+        result = run_point(config.with_scheme(scheme), stress, budget=budget)
         rows.append({
             "workload": "alias-stress",
             "store_sets": variant,

@@ -9,21 +9,29 @@ table sizes to verify the saturation.
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 TABLE_SIZES = (256, 512, 1024, 2048, 4096, 8192)
 
 
-def run_ablation_table_size(budget: Optional[int] = None, sizes=TABLE_SIZES,
-                            config=CONFIG2) -> Dict:
-    """Sweep the checking-table size under global DMDC."""
-    sweep = {
+def _sweep(sizes=TABLE_SIZES, config=CONFIG2) -> Dict:
+    return {
         f"size:{size}": config.with_scheme(SchemeConfig(kind="dmdc", table_entries=size))
         for size in sizes
     }
-    sweeps = run_suite_many(sweep, budget=budget)
+
+
+def plan_ablation_table_size(budget: Optional[int] = None, sizes=TABLE_SIZES,
+                             config=CONFIG2):
+    return plan_suite_many(_sweep(sizes, config), budget=budget)
+
+
+def run_ablation_table_size(budget: Optional[int] = None, sizes=TABLE_SIZES,
+                            config=CONFIG2) -> Dict:
+    """Sweep the checking-table size under global DMDC."""
+    sweeps = run_suite_many(_sweep(sizes, config), budget=budget)
     rows = []
     for size in sizes:
         groups: Dict[str, Dict[str, list]] = {}

@@ -10,16 +10,14 @@ codes (more mispredictions) — evidence that the reset remedy matters.
 
 from typing import Dict, Optional
 
-from repro.experiments.common import group_means, run_suite_many
+from repro.experiments.common import group_means, plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 INTENSITIES = (0.0, 1.0, 4.0, 8.0)
 
 
-def run_ablation_wrongpath(budget: Optional[int] = None, intensities=INTENSITIES,
-                           config=CONFIG2) -> Dict:
-    """Sweep wrong-path load intensity under 8-register YLA filtering."""
+def _sweep(intensities=INTENSITIES, config=CONFIG2) -> Dict:
     scheme = SchemeConfig(kind="yla", yla_registers=8)
     sweep = {}
     for mean in intensities:
@@ -27,7 +25,18 @@ def run_ablation_wrongpath(budget: Optional[int] = None, intensities=INTENSITIES
             wrongpath_loads=mean > 0, wrongpath_mean_loads=max(mean, 0.1)
         )
         sweep[f"wp:{mean}"] = cfg
-    sweeps = run_suite_many(sweep, budget=budget)
+    return sweep
+
+
+def plan_ablation_wrongpath(budget: Optional[int] = None, intensities=INTENSITIES,
+                            config=CONFIG2):
+    return plan_suite_many(_sweep(intensities, config), budget=budget)
+
+
+def run_ablation_wrongpath(budget: Optional[int] = None, intensities=INTENSITIES,
+                           config=CONFIG2) -> Dict:
+    """Sweep wrong-path load intensity under 8-register YLA filtering."""
+    sweeps = run_suite_many(_sweep(intensities, config), budget=budget)
     rows = []
     for mean in intensities:
         summary = group_means(

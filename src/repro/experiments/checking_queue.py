@@ -8,22 +8,31 @@ overflow replays.
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 QUEUE_SIZES = (4, 8, 16, 32)
 
 
-def run_checking_queue(budget: Optional[int] = None, queue_sizes=QUEUE_SIZES,
-                       config=CONFIG2) -> Dict:
-    """Replay rates: hash table (2K) vs associative queues of several sizes."""
+def _sweep(queue_sizes=QUEUE_SIZES, config=CONFIG2) -> Dict:
     sweep = {"table": config.with_scheme(SchemeConfig(kind="dmdc"))}
     for size in queue_sizes:
         sweep[f"queue:{size}"] = config.with_scheme(
             SchemeConfig(kind="dmdc", checking_queue_entries=size)
         )
-    sweeps = run_suite_many(sweep, budget=budget)
+    return sweep
+
+
+def plan_checking_queue(budget: Optional[int] = None, queue_sizes=QUEUE_SIZES,
+                        config=CONFIG2):
+    return plan_suite_many(_sweep(queue_sizes, config), budget=budget)
+
+
+def run_checking_queue(budget: Optional[int] = None, queue_sizes=QUEUE_SIZES,
+                       config=CONFIG2) -> Dict:
+    """Replay rates: hash table (2K) vs associative queues of several sizes."""
+    sweeps = run_suite_many(_sweep(queue_sizes, config), budget=budget)
     rows = []
     for key, results in sweeps.items():
         groups: Dict[str, list] = {}

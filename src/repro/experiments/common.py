@@ -1,19 +1,30 @@
-"""Shared experiment machinery: suite sweeps with optional parallelism.
+"""Shared experiment machinery, built on the execution engine.
 
-Experiments run the whole 26-workload suite for each design point.  Runs
-are independent, so they fan out across processes by default; set
-``REPRO_PARALLEL=0`` to force serial execution (useful under debuggers)
-and ``REPRO_WORKLOADS_PER_GROUP=n`` to sweep a subset while iterating.
+Experiments run the whole 26-workload suite for each design point.  The
+helpers here only *plan* — they turn (configs, workloads, budget, seed)
+into canonical :class:`~repro.exec.RunRequest`s — and hand the batch to
+the process-wide :class:`~repro.exec.ExecutionEngine`, which dedupes
+repeated design points, serves previously-simulated ones from its disk
+cache, and fans the rest out across one persistent process pool.
+
+Knobs: ``REPRO_PARALLEL=n`` sets the worker count (0 forces serial —
+useful under debuggers), ``REPRO_WORKLOADS_PER_GROUP=n`` sweeps a subset
+while iterating, ``REPRO_CACHE=0``/``REPRO_CACHE_DIR`` control the
+result cache.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro.exec.engine import ExecutionEngine, get_engine
+from repro.exec.request import RunRequest
 from repro.sim.config import MachineConfig
 from repro.sim.result import SimulationResult
-from repro.sim.runner import instruction_budget, run_workload
-from repro.workloads import FP_WORKLOADS, INT_WORKLOADS, get_workload
+from repro.sim.runner import instruction_budget
+from repro.workloads import FP_WORKLOADS, INT_WORKLOADS, SyntheticWorkload, WorkloadSpec
+
+#: Anything the planning helpers accept as a workload identity.
+WorkloadLike = Union[str, WorkloadSpec, SyntheticWorkload]
 
 
 def suite_workloads() -> List[str]:
@@ -25,15 +36,56 @@ def suite_workloads() -> List[str]:
     return INT_WORKLOADS + FP_WORKLOADS
 
 
-def _run_one(args: Tuple[MachineConfig, str, int, int]) -> SimulationResult:
-    config, name, budget, seed = args
-    return run_workload(config, get_workload(name), max_instructions=budget, seed=seed)
+def _workload_id(workload: WorkloadLike) -> Union[str, WorkloadSpec]:
+    if isinstance(workload, SyntheticWorkload):
+        return workload.spec
+    return workload
 
 
-def _parallelism() -> int:
-    if os.environ.get("REPRO_PARALLEL", "1") == "0":
-        return 1
-    return min(os.cpu_count() or 1, 12)
+# -- planning ------------------------------------------------------------
+def plan_point(config: MachineConfig, workload: WorkloadLike,
+               budget: Optional[int] = None, seed: int = 1) -> RunRequest:
+    """Canonical request for one (config, workload) design point."""
+    budget = budget if budget is not None else instruction_budget()
+    return RunRequest(config, _workload_id(workload), budget, seed)
+
+
+def plan_suite(config: MachineConfig,
+               budget: Optional[int] = None,
+               workloads: Optional[Iterable[str]] = None,
+               seed: int = 1) -> List[RunRequest]:
+    """Requests for every suite workload on ``config``."""
+    names = list(workloads) if workloads is not None else suite_workloads()
+    budget = budget if budget is not None else instruction_budget()
+    return [RunRequest(config, name, budget, seed) for name in names]
+
+
+def plan_suite_many(configs: Dict[str, MachineConfig],
+                    budget: Optional[int] = None,
+                    workloads: Optional[Iterable[str]] = None,
+                    seed: int = 1) -> List[RunRequest]:
+    """Requests for the suite under several configurations, config-major."""
+    names = list(workloads) if workloads is not None else suite_workloads()
+    budget = budget if budget is not None else instruction_budget()
+    return [
+        RunRequest(config, name, budget, seed)
+        for config in configs.values()
+        for name in names
+    ]
+
+
+# -- execution -----------------------------------------------------------
+def run_requests(requests: List[RunRequest],
+                 engine: Optional[ExecutionEngine] = None) -> List[SimulationResult]:
+    """Execute ``requests`` through the (shared) engine, preserving order."""
+    engine = engine if engine is not None else get_engine()
+    return engine.run(requests)
+
+
+def run_point(config: MachineConfig, workload: WorkloadLike,
+              budget: Optional[int] = None, seed: int = 1) -> SimulationResult:
+    """Run a single design point through the engine (cached, deduped)."""
+    return run_requests([plan_point(config, workload, budget, seed)])[0]
 
 
 def run_suite(
@@ -43,16 +95,9 @@ def run_suite(
     seed: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run every suite workload on ``config``; returns results by name."""
-    names = list(workloads) if workloads is not None else suite_workloads()
-    budget = budget if budget is not None else instruction_budget()
-    jobs = [(config, name, budget, seed) for name in names]
-    workers = _parallelism()
-    if workers <= 1 or len(jobs) <= 1:
-        results = [_run_one(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_one, jobs))
-    return {name: result for name, result in zip(names, results)}
+    requests = plan_suite(config, budget=budget, workloads=workloads, seed=seed)
+    results = run_requests(requests)
+    return {request.workload_name: result for request, result in zip(requests, results)}
 
 
 def run_suite_many(
@@ -61,24 +106,17 @@ def run_suite_many(
     workloads: Optional[Iterable[str]] = None,
     seed: int = 1,
 ) -> Dict[str, Dict[str, SimulationResult]]:
-    """Run the suite under several configurations in one process pool.
+    """Run the suite under several configurations in one engine batch.
 
     Flattens (config, workload) pairs so parallelism covers the whole
     sweep, not just one configuration at a time.
     """
     names = list(workloads) if workloads is not None else suite_workloads()
-    budget = budget if budget is not None else instruction_budget()
-    keys = list(configs)
-    jobs = [(configs[key], name, budget, seed) for key in keys for name in names]
-    workers = _parallelism()
-    if workers <= 1 or len(jobs) <= 1:
-        results = [_run_one(job) for job in jobs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_one, jobs))
+    requests = plan_suite_many(configs, budget=budget, workloads=names, seed=seed)
+    results = run_requests(requests)
     out: Dict[str, Dict[str, SimulationResult]] = {}
     i = 0
-    for key in keys:
+    for key in configs:
         out[key] = {}
         for name in names:
             out[key][name] = results[i]

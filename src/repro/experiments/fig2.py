@@ -8,7 +8,7 @@ roughly match 4 quad-word ones).
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import group_means, run_suite_many
+from repro.experiments.common import group_means, plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
@@ -16,14 +16,22 @@ REGISTER_COUNTS = (1, 2, 4, 8, 16)
 GRANULARITIES = {"quad-word": 8, "cache-line": 128}
 
 
-def run_fig2(budget: Optional[int] = None, register_counts=REGISTER_COUNTS) -> Dict:
-    """Sweep YLA register count x interleaving over the full suite."""
+def _sweep(register_counts=REGISTER_COUNTS) -> Dict:
     configs = {}
     for label, gran in GRANULARITIES.items():
         for n in register_counts:
             scheme = SchemeConfig(kind="yla", yla_registers=n, yla_granularity=gran)
             configs[f"{label}:{n}"] = CONFIG2.with_scheme(scheme)
-    sweeps = run_suite_many(configs, budget=budget)
+    return configs
+
+
+def plan_fig2(budget: Optional[int] = None, register_counts=REGISTER_COUNTS):
+    return plan_suite_many(_sweep(register_counts), budget=budget)
+
+
+def run_fig2(budget: Optional[int] = None, register_counts=REGISTER_COUNTS) -> Dict:
+    """Sweep YLA register count x interleaving over the full suite."""
+    sweeps = run_suite_many(_sweep(register_counts), budget=budget)
     rows: List[Dict] = []
     for label, gran in GRANULARITIES.items():
         for n in register_counts:

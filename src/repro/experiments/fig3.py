@@ -7,7 +7,7 @@ age information -- an older issued load to an aliasing address defeats it.
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import group_means, run_suite_many
+from repro.experiments.common import group_means, plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
@@ -15,8 +15,7 @@ BLOOM_SIZES = (32, 64, 128, 256, 512, 1024)
 YLA_COUNTS = (1, 8)
 
 
-def run_fig3(budget: Optional[int] = None, bloom_sizes=BLOOM_SIZES) -> Dict:
-    """Sweep Bloom-filter sizes against 1- and 8-register YLA filtering."""
+def _sweep(bloom_sizes=BLOOM_SIZES) -> Dict:
     configs = {}
     for size in bloom_sizes:
         configs[f"bf:{size}"] = CONFIG2.with_scheme(
@@ -26,7 +25,16 @@ def run_fig3(budget: Optional[int] = None, bloom_sizes=BLOOM_SIZES) -> Dict:
         configs[f"yla:{n}"] = CONFIG2.with_scheme(
             SchemeConfig(kind="yla", yla_registers=n)
         )
-    sweeps = run_suite_many(configs, budget=budget)
+    return configs
+
+
+def plan_fig3(budget: Optional[int] = None, bloom_sizes=BLOOM_SIZES):
+    return plan_suite_many(_sweep(bloom_sizes), budget=budget)
+
+
+def run_fig3(budget: Optional[int] = None, bloom_sizes=BLOOM_SIZES) -> Dict:
+    """Sweep Bloom-filter sizes against 1- and 8-register YLA filtering."""
+    sweeps = run_suite_many(_sweep(bloom_sizes), budget=budget)
     rows: List[Dict] = []
     for key, results in sweeps.items():
         kind, param = key.split(":")

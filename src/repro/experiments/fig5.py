@@ -7,22 +7,31 @@ especially for FP applications.
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG1, CONFIG2, CONFIG3, SchemeConfig
 from repro.stats.report import format_table
 
 CONFIG_SET = {"config1": CONFIG1, "config2": CONFIG2, "config3": CONFIG3}
 
 
-def run_fig5(budget: Optional[int] = None, configs: Optional[Dict] = None) -> Dict:
-    """Baseline vs global vs local DMDC on each configuration."""
+def _sweep(configs: Optional[Dict] = None) -> Dict:
     configs = configs if configs is not None else CONFIG_SET
     sweep = {}
     for cname, config in configs.items():
         sweep[f"{cname}:base"] = config
         sweep[f"{cname}:global"] = config.with_scheme(SchemeConfig(kind="dmdc", local=False))
         sweep[f"{cname}:local"] = config.with_scheme(SchemeConfig(kind="dmdc", local=True))
-    sweeps = run_suite_many(sweep, budget=budget)
+    return sweep
+
+
+def plan_fig5(budget: Optional[int] = None, configs: Optional[Dict] = None):
+    return plan_suite_many(_sweep(configs), budget=budget)
+
+
+def run_fig5(budget: Optional[int] = None, configs: Optional[Dict] = None) -> Dict:
+    """Baseline vs global vs local DMDC on each configuration."""
+    configs = configs if configs is not None else CONFIG_SET
+    sweeps = run_suite_many(_sweep(configs), budget=budget)
     rows: List[Dict] = []
     for cname in configs:
         for variant in ("global", "local"):

@@ -1,6 +1,6 @@
-"""Registry mapping experiment ids to their run/render functions."""
+"""Registry mapping experiment ids to their plan/run/render functions."""
 
-from typing import Callable, Dict, NamedTuple
+from typing import Callable, Dict, NamedTuple, Optional
 
 from repro.experiments import (
     ablation_storesets,
@@ -24,38 +24,54 @@ from repro.experiments import (
 
 
 class Experiment(NamedTuple):
-    """One reproducible paper artifact."""
+    """One reproducible paper artifact.
+
+    ``plan`` returns the experiment's design points as
+    :class:`~repro.exec.RunRequest`s without running anything, so the
+    execution engine can dedupe and batch points across experiments
+    (``repro experiment --all``).
+    """
 
     id: str
     paper_artifact: str
     run: Callable
     render: Callable
+    plan: Optional[Callable] = None
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
     exp.id: exp
     for exp in [
-        Experiment("fig2", "Figure 2", fig2.run_fig2, fig2.render),
-        Experiment("fig3", "Figure 3", fig3.run_fig3, fig3.render),
-        Experiment("yla_energy", "Section 6.1 energy", yla_energy.run_yla_energy, yla_energy.render),
-        Experiment("fig4", "Figure 4", fig4.run_fig4, fig4.render),
-        Experiment("table2", "Table 2", table2.run_table2, table2.render),
-        Experiment("table3", "Table 3", table3.run_table3, table3.render),
-        Experiment("table4", "Table 4", table4.run_table4, table4.render),
-        Experiment("table5", "Table 5", table5.run_table5, table5.render),
-        Experiment("fig5", "Figure 5", fig5.run_fig5, fig5.render),
-        Experiment("table6", "Table 6", table6.run_table6, table6.render),
-        Experiment("safe_loads", "Section 6.2.2 safe loads", safe_loads.run_safe_loads, safe_loads.render),
-        Experiment("checking_queue", "Section 6.2.3 checking queue", checking_queue.run_checking_queue, checking_queue.render),
-        Experiment("sq_filter", "Section 3 SQ filtering", sq_filter.run_sq_filter, sq_filter.render),
+        Experiment("fig2", "Figure 2", fig2.run_fig2, fig2.render, fig2.plan_fig2),
+        Experiment("fig3", "Figure 3", fig3.run_fig3, fig3.render, fig3.plan_fig3),
+        Experiment("yla_energy", "Section 6.1 energy", yla_energy.run_yla_energy,
+                   yla_energy.render, yla_energy.plan_yla_energy),
+        Experiment("fig4", "Figure 4", fig4.run_fig4, fig4.render, fig4.plan_fig4),
+        Experiment("table2", "Table 2", table2.run_table2, table2.render, table2.plan_table2),
+        Experiment("table3", "Table 3", table3.run_table3, table3.render, table3.plan_table3),
+        Experiment("table4", "Table 4", table4.run_table4, table4.render, table4.plan_table4),
+        Experiment("table5", "Table 5", table5.run_table5, table5.render, table5.plan_table5),
+        Experiment("fig5", "Figure 5", fig5.run_fig5, fig5.render, fig5.plan_fig5),
+        Experiment("table6", "Table 6", table6.run_table6, table6.render, table6.plan_table6),
+        Experiment("safe_loads", "Section 6.2.2 safe loads", safe_loads.run_safe_loads,
+                   safe_loads.render, safe_loads.plan_safe_loads),
+        Experiment("checking_queue", "Section 6.2.3 checking queue",
+                   checking_queue.run_checking_queue, checking_queue.render,
+                   checking_queue.plan_checking_queue),
+        Experiment("sq_filter", "Section 3 SQ filtering", sq_filter.run_sq_filter,
+                   sq_filter.render, sq_filter.plan_sq_filter),
         Experiment("ablation_table_size", "Ablation: checking-table size",
-                   ablation_table_size.run_ablation_table_size, ablation_table_size.render),
+                   ablation_table_size.run_ablation_table_size, ablation_table_size.render,
+                   ablation_table_size.plan_ablation_table_size),
         Experiment("ablation_wrongpath", "Ablation: wrong-path YLA corruption",
-                   ablation_wrongpath.run_ablation_wrongpath, ablation_wrongpath.render),
+                   ablation_wrongpath.run_ablation_wrongpath, ablation_wrongpath.render,
+                   ablation_wrongpath.plan_ablation_wrongpath),
         Experiment("ablation_storesets", "Extension: store-set prediction",
-                   ablation_storesets.run_ablation_storesets, ablation_storesets.render),
+                   ablation_storesets.run_ablation_storesets, ablation_storesets.render,
+                   ablation_storesets.plan_ablation_storesets),
         Experiment("related_work", "Section 7 comparison",
-                   related_work.run_related_work, related_work.render),
+                   related_work.run_related_work, related_work.render,
+                   related_work.plan_related_work),
     ]
 }
 

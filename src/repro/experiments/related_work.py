@@ -19,7 +19,7 @@ flush-from-store replays.
 from typing import Dict, Optional
 
 from repro.energy.model import EnergyModel
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
@@ -32,12 +32,17 @@ SCHEMES = {
 }
 
 
+def _sweep(config=CONFIG2) -> Dict:
+    return {name: config.with_scheme(scheme) for name, scheme in SCHEMES.items()}
+
+
+def plan_related_work(budget: Optional[int] = None, config=CONFIG2):
+    return plan_suite_many(_sweep(config), budget=budget)
+
+
 def run_related_work(budget: Optional[int] = None, config=CONFIG2) -> Dict:
     """Compare every scheme on LQ energy, replays, and slowdown."""
-    sweeps = run_suite_many(
-        {name: config.with_scheme(scheme) for name, scheme in SCHEMES.items()},
-        budget=budget,
-    )
+    sweeps = run_suite_many(_sweep(config), budget=budget)
     model = EnergyModel(config)
     base_energy = {name: model.evaluate(r) for name, r in sweeps["conventional"].items()}
     rows = []

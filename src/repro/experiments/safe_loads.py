@@ -7,20 +7,25 @@ safe-load circuit false replays roughly double for INT applications
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 
+def _sweep(config=CONFIG2) -> Dict:
+    return {
+        "with": config.with_scheme(SchemeConfig(kind="dmdc", safe_loads=True)),
+        "without": config.with_scheme(SchemeConfig(kind="dmdc", safe_loads=False)),
+    }
+
+
+def plan_safe_loads(budget: Optional[int] = None, config=CONFIG2):
+    return plan_suite_many(_sweep(config), budget=budget)
+
+
 def run_safe_loads(budget: Optional[int] = None, config=CONFIG2) -> Dict:
     """Global DMDC with and without the safe-load optimisation."""
-    sweeps = run_suite_many(
-        {
-            "with": config.with_scheme(SchemeConfig(kind="dmdc", safe_loads=True)),
-            "without": config.with_scheme(SchemeConfig(kind="dmdc", safe_loads=False)),
-        },
-        budget=budget,
-    )
+    sweeps = run_suite_many(_sweep(config), budget=budget)
     groups: Dict[str, Dict[str, list]] = {}
     for name, with_safe in sweeps["with"].items():
         without = sweeps["without"][name]

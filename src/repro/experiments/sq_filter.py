@@ -8,9 +8,14 @@ future work; we implement the filter behind ``SchemeConfig.sq_filter``.)
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite
+from repro.experiments.common import plan_suite, run_suite
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
+
+
+def plan_sq_filter(budget: Optional[int] = None, config=CONFIG2):
+    cfg = config.with_scheme(SchemeConfig(kind="dmdc", sq_filter=True))
+    return plan_suite(cfg, budget=budget)
 
 
 def run_sq_filter(budget: Optional[int] = None, config=CONFIG2) -> Dict:

@@ -9,9 +9,14 @@ the processor spends ~10% (INT) / ~2.5% (FP) of cycles in checking mode;
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite
+from repro.experiments.common import plan_suite, run_suite
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
+
+
+def plan_table2(budget: Optional[int] = None, local: bool = False, config=CONFIG2):
+    scheme = SchemeConfig(kind="dmdc", local=local)
+    return plan_suite(config.with_scheme(scheme), budget=budget)
 
 
 def run_table2(budget: Optional[int] = None, local: bool = False, config=CONFIG2) -> Dict:

@@ -17,7 +17,7 @@ Paper result (config2, per million committed instructions): INT 168 total
 
 from typing import Dict, Optional
 
-from repro.experiments.common import run_suite
+from repro.experiments.common import plan_suite, run_suite
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.sim.result import FALSE_REPLAY_CATEGORIES
 from repro.stats.report import format_table
@@ -30,6 +30,11 @@ _LABELS = {
     "replay.false.hash.Y": ("hashing conflict", "after store (Y: merged windows)"),
     "replay.false.inv": ("invalidation", "promoted INV entry"),
 }
+
+
+def plan_table3(budget: Optional[int] = None, local: bool = False, config=CONFIG2):
+    scheme = SchemeConfig(kind="dmdc", local=local)
+    return plan_suite(config.with_scheme(scheme), budget=budget)
 
 
 def run_table3(budget: Optional[int] = None, local: bool = False, config=CONFIG2) -> Dict:

@@ -8,8 +8,15 @@ faster.  Thin wrapper over the Table 2 collector with ``local=True``.
 
 from typing import Dict, Optional
 
+from repro.experiments.table2 import plan_table2, run_table2
 from repro.experiments.table2 import render as _render
-from repro.experiments.table2 import run_table2
+
+
+def plan_table4(budget: Optional[int] = None, config=None):
+    kwargs = {"local": True}
+    if config is not None:
+        kwargs["config"] = config
+    return plan_table2(budget=budget, **kwargs)
 
 
 def run_table4(budget: Optional[int] = None, config=None) -> Dict:

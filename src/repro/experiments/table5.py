@@ -7,8 +7,15 @@ replays.  Thin wrapper over the Table 3 classifier with ``local=True``.
 
 from typing import Dict, Optional
 
+from repro.experiments.table3 import plan_table3, run_table3
 from repro.experiments.table3 import render as _render
-from repro.experiments.table3 import run_table3
+
+
+def plan_table5(budget: Optional[int] = None, config=None):
+    kwargs = {"local": True}
+    if config is not None:
+        kwargs["config"] = config
+    return plan_table3(budget=budget, **kwargs)
 
 
 def run_table5(budget: Optional[int] = None, config=None) -> Dict:

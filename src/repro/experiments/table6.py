@@ -17,22 +17,30 @@ stays near 1% slowdown.
 
 from typing import Dict, List, Optional
 
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 INVALIDATION_RATES = (0.0, 1.0, 10.0, 100.0)
 
 
-def run_table6(budget: Optional[int] = None, rates=INVALIDATION_RATES, config=CONFIG2) -> Dict:
-    """Sweep injected invalidation rates under coherent DMDC."""
+def _sweep(rates=INVALIDATION_RATES, config=CONFIG2) -> Dict:
     coherent = SchemeConfig(kind="dmdc", coherence=True)
     sweep = {"base": config}
     for rate in rates:
         sweep[f"inv:{rate}"] = config.with_scheme(coherent).with_overrides(
             invalidation_rate=rate
         )
-    sweeps = run_suite_many(sweep, budget=budget)
+    return sweep
+
+
+def plan_table6(budget: Optional[int] = None, rates=INVALIDATION_RATES, config=CONFIG2):
+    return plan_suite_many(_sweep(rates, config), budget=budget)
+
+
+def run_table6(budget: Optional[int] = None, rates=INVALIDATION_RATES, config=CONFIG2) -> Dict:
+    """Sweep injected invalidation rates under coherent DMDC."""
+    sweeps = run_suite_many(_sweep(rates, config), budget=budget)
     rows: List[Dict] = []
     per_group_ref: Dict[str, Dict[str, float]] = {}
     for rate in rates:

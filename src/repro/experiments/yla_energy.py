@@ -4,20 +4,25 @@
 from typing import Dict, Optional
 
 from repro.energy.model import EnergyModel
-from repro.experiments.common import run_suite_many
+from repro.experiments.common import plan_suite_many, run_suite_many
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.stats.report import format_table
 
 
+def _sweep() -> Dict:
+    return {
+        "baseline": CONFIG2,
+        "yla": CONFIG2.with_scheme(SchemeConfig(kind="yla", yla_registers=8)),
+    }
+
+
+def plan_yla_energy(budget: Optional[int] = None):
+    return plan_suite_many(_sweep(), budget=budget)
+
+
 def run_yla_energy(budget: Optional[int] = None) -> Dict:
     """Baseline vs 8-register YLA filtering on config2, full suite."""
-    sweeps = run_suite_many(
-        {
-            "baseline": CONFIG2,
-            "yla": CONFIG2.with_scheme(SchemeConfig(kind="yla", yla_registers=8)),
-        },
-        budget=budget,
-    )
+    sweeps = run_suite_many(_sweep(), budget=budget)
     model = EnergyModel(CONFIG2)
     rows = []
     groups = {"INT": {"lq": [], "total": [], "slow": []},

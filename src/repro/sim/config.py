@@ -1,6 +1,7 @@
 """Machine and scheme configurations (paper Table 1)."""
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigError
@@ -28,6 +29,10 @@ class SchemeConfig:
     def __post_init__(self):
         if self.kind not in ("conventional", "yla", "bloom", "dmdc", "garg", "value"):
             raise ConfigError(f"unknown scheme kind {self.kind!r}")
+
+    def cache_key(self) -> str:
+        """Deterministic canonical form: same fields, same key, any process."""
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,14 @@ class MachineConfig:
     def with_overrides(self, **kwargs) -> "MachineConfig":
         """A copy with arbitrary field overrides."""
         return replace(self, **kwargs)
+
+    def cache_key(self) -> str:
+        """Deterministic canonical form covering every field (scheme nested).
+
+        Any field change — machine or scheme — yields a different key, so
+        content-addressed result caching can never conflate design points.
+        """
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
 
 #: The paper's three simulated configurations (Table 1).

@@ -10,6 +10,14 @@ from typing import Dict
 
 from repro.stats.counters import CounterSet, Histogram
 
+#: Histogram-valued fields, serialized alongside the scalar counters.
+HISTOGRAM_FIELDS = (
+    "window_instrs",
+    "window_loads",
+    "window_safe_loads",
+    "window_unsafe_stores",
+)
+
 #: Replay-taxonomy counter names (Tables 3 and 5 of the paper).
 FALSE_REPLAY_CATEGORIES = (
     "replay.false.addr.X",
@@ -104,6 +112,39 @@ class SimulationResult:
             return 0.0
         ones = dict(self.window_unsafe_stores.items()).get(1, 0)
         return ones / self.window_unsafe_stores.count
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly snapshot; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "workload": self.workload,
+            "group": self.group,
+            "config_name": self.config_name,
+            "scheme_name": self.scheme_name,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "counters": self.counters.as_dict(),
+            "histograms": {
+                name: getattr(self, name).to_dict() for name in HISTOGRAM_FIELDS
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SimulationResult":
+        histograms = payload.get("histograms", {})
+        return cls(
+            workload=payload["workload"],
+            group=payload["group"],
+            config_name=payload["config_name"],
+            scheme_name=payload["scheme_name"],
+            cycles=int(payload["cycles"]),
+            committed=int(payload["committed"]),
+            counters=CounterSet.from_dict(payload["counters"]),
+            **{
+                name: Histogram.from_dict(histograms.get(name, {}))
+                for name in HISTOGRAM_FIELDS
+            },
+        )
 
     def summary(self) -> Dict[str, float]:
         """Compact headline dictionary (examples / quick inspection)."""

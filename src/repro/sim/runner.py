@@ -3,6 +3,7 @@
 import os
 from typing import Optional
 
+from repro.errors import ConfigError
 from repro.isa.trace import Trace, validate_trace
 from repro.sim.config import MachineConfig
 from repro.sim.processor import Processor
@@ -23,7 +24,14 @@ def instruction_budget(default: Optional[int] = None) -> int:
     """
     value = os.environ.get(INSTRUCTIONS_ENV)
     if value:
-        return max(1_000, int(value))
+        try:
+            parsed = int(value)
+        except ValueError:
+            raise ConfigError(
+                f"{INSTRUCTIONS_ENV} must be an integer instruction count, "
+                f"got {value!r}"
+            ) from None
+        return max(1_000, parsed)
     return default if default is not None else DEFAULT_INSTRUCTIONS
 
 

@@ -41,6 +41,22 @@ class CounterSet:
         for name, value in other._counts.items():
             self._counts[name] += value
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        # Zero-valued entries are indistinguishable from absent ones.
+        mine = {k: v for k, v in self._counts.items() if v}
+        theirs = {k: v for k, v in other._counts.items() if v}
+        return mine == theirs
+
+    @classmethod
+    def from_dict(cls, counts: Dict[str, int]) -> "CounterSet":
+        """Rebuild a set from an :meth:`as_dict` snapshot."""
+        out = cls()
+        for name, value in counts.items():
+            out._counts[name] = int(value)
+        return out
+
     def rate(self, numerator: str, denominator: str, scale: float = 1.0) -> float:
         """``scale * numerator / denominator``, 0.0 when the denominator is 0."""
         denom = self._counts.get(denominator, 0)
@@ -102,3 +118,20 @@ class Histogram:
 
     def items(self) -> Iterable[Tuple[int, int]]:
         return sorted(self._bins.items())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (dict(self._bins), self.count, self.total) == (
+            dict(other._bins), other.count, other.total)
+
+    def to_dict(self) -> Dict[str, list]:
+        """JSON-friendly snapshot (bins as value/weight pairs)."""
+        return {"bins": [[value, weight] for value, weight in self.items()]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, list]) -> "Histogram":
+        out = cls()
+        for value, weight in payload.get("bins", []):
+            out.add(int(value), int(weight))
+        return out

@@ -60,6 +60,16 @@ class TraceBuilder:
         return self.trace
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the execution engine's disk cache at a per-test directory.
+
+    Keeps tests from reading or polluting ``~/.cache/repro``, and makes
+    every test start from a cold cache.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def builder():
     return TraceBuilder()

@@ -25,6 +25,12 @@ class TestInstructionBudget:
         monkeypatch.setenv("REPRO_INSTRUCTIONS", "10")
         assert instruction_budget() == 1000
 
+    def test_env_malformed_names_variable_and_value(self, monkeypatch):
+        from repro.errors import ConfigError
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "12k")
+        with pytest.raises(ConfigError, match="REPRO_INSTRUCTIONS.*'12k'"):
+            instruction_budget()
+
 
 class TestRunHelpers:
     def test_run_workload_generates_margin(self, tiny_config):
