@@ -30,6 +30,13 @@ class DynInstr:
         "seq",
         "state",
         "fp_side",
+        # static facts copied out of the micro-op once at fetch; plain
+        # slots, because property dispatch is measurable on the hot paths
+        "is_load",
+        "is_store",
+        "is_branch",
+        "addr",
+        "size",
         # dependence tracking
         "pending_ops",
         "pending_data",
@@ -68,52 +75,25 @@ class DynInstr:
         self.seq = seq
         self.state = InstrState.DISPATCHED
         self.fp_side = fp_side
-        self.pending_ops = 0
-        self.pending_data = 0
-        self.consumers: List = []
-        self.fetch_cycle = -1
-        self.dispatch_cycle = -1
-        self.issue_cycle = -1
-        self.complete_cycle = -1
-        self.resolve_cycle = -1
-        self.commit_cycle = -1
-        self.speculative_issue = False
-        self.safe = False
-        self.forward_store_seq = -1
-        self.rejections = 0
-        self.true_violation_store = -1
-        self.true_violation_pc = -1
+        self.is_load = uop.is_load
+        self.is_store = uop.is_store
+        self.is_branch = uop.is_branch
+        self.addr = uop.mem_addr
+        self.size = uop.mem_size
+        self.pending_ops = self.pending_data = self.rejections = 0
         self.replay_generation = 0
-        self.guard_bypass = False
-        self.hash_key = -1
-        self.inv_marked = False
-        self.unsafe_store = False
-        self.window_end = -1
-        self.pred_snapshot: Optional[dict] = None
-        self.mispredicted = False
+        self.consumers: List = []
+        self.fetch_cycle = self.dispatch_cycle = self.issue_cycle = -1
+        self.complete_cycle = self.resolve_cycle = self.commit_cycle = -1
+        self.forward_store_seq = -1
+        self.true_violation_store = self.true_violation_pc = -1
+        self.hash_key = self.window_end = -1
+        self.speculative_issue = self.safe = self.guard_bypass = False
+        self.inv_marked = self.unsafe_store = self.mispredicted = False
         self.in_iq = False
+        self.pred_snapshot: Optional[tuple] = None
 
     # Convenience passthroughs -------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.uop.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.uop.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        return self.uop.is_branch
-
-    @property
-    def addr(self) -> int:
-        return self.uop.mem_addr
-
-    @property
-    def size(self) -> int:
-        return self.uop.mem_size
-
     @property
     def resolved(self) -> bool:
         """A memory op's address is resolved once it has issued through the AGU."""

@@ -27,17 +27,15 @@ class FunctionalUnits:
         InstrClass.NOP: 1,
     }
 
-    def __init__(self, int_alu: int = 8, int_muldiv: int = 2, fp_alu: int = 8, fp_muldiv: int = 2):
-        if min(int_alu, int_muldiv, fp_alu, fp_muldiv) <= 0:
-            raise ConfigError("functional unit counts must be positive")
-        self._caps = {
-            "int_alu": int_alu,
-            "int_muldiv": int_muldiv,
-            "fp_alu": fp_alu,
-            "fp_muldiv": fp_muldiv,
-        }
-        self._avail = dict(self._caps)
+    #: Pool index per class: 0=int_alu, 1=int_muldiv, 2=fp_alu, 3=fp_muldiv.
+    #: Lists indexed by the IntEnum value keep the per-issue lookup to two
+    #: list subscripts (this is called once per issued instruction).
+    _POOL_INDEX = (0, 1, 1, 2, 3, 3, 0, 0, 0, 0)
+    #: Latency per class, indexed by IntEnum value; public so the pipeline
+    #: can index it directly on its hottest issue path.
+    latency_by_cls = (1, 3, 20, 2, 4, 12, 1, 1, 1, 1)
 
+    #: Name-keyed views kept for introspection and tests.
     _POOL = {
         InstrClass.IALU: "int_alu",
         InstrClass.IMUL: "int_muldiv",
@@ -51,20 +49,38 @@ class FunctionalUnits:
         InstrClass.NOP: "int_alu",
     }
 
+    def __init__(self, int_alu: int = 8, int_muldiv: int = 2, fp_alu: int = 8, fp_muldiv: int = 2):
+        if min(int_alu, int_muldiv, fp_alu, fp_muldiv) <= 0:
+            raise ConfigError("functional unit counts must be positive")
+        self._caps = {
+            "int_alu": int_alu,
+            "int_muldiv": int_muldiv,
+            "fp_alu": fp_alu,
+            "fp_muldiv": fp_muldiv,
+        }
+        self._caps_list = [int_alu, int_muldiv, fp_alu, fp_muldiv]
+        self._avail_list = list(self._caps_list)
+
+    @property
+    def _avail(self):
+        """Name-keyed availability view (tests / debugging)."""
+        return dict(zip(("int_alu", "int_muldiv", "fp_alu", "fp_muldiv"), self._avail_list))
+
     def new_cycle(self) -> None:
         """Restore full bandwidth at the start of each cycle."""
-        self._avail.update(self._caps)
+        self._avail_list[:] = self._caps_list
 
     def try_acquire(self, cls: InstrClass) -> bool:
         """Claim a unit of the right pool for this cycle, if available."""
-        pool = self._POOL[cls]
-        if self._avail[pool] > 0:
-            self._avail[pool] -= 1
+        pool = self._POOL_INDEX[cls]
+        avail = self._avail_list
+        if avail[pool] > 0:
+            avail[pool] -= 1
             return True
         return False
 
     def latency(self, cls: InstrClass) -> int:
-        return self.LATENCY[cls]
+        return self.latency_by_cls[cls]
 
 
 class PhysRegFile:

@@ -19,6 +19,9 @@ Commands:
     Generate, save, load, and inspect binary traces.
 ``timeline``
     Render an ASCII pipeline timeline of the first N instructions.
+``bench``
+    Measure simulator throughput (committed instructions per second) for
+    every scheme over a fixed workload mix; write ``BENCH_simulator.json``.
 """
 
 import argparse
@@ -253,6 +256,37 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf import run_bench, write_bench
+    from repro.perf.bench import validate_payload
+
+    payload = run_bench(
+        instructions=args.instructions,
+        quick=args.quick,
+        workloads=args.workload or None,
+        seed=args.seed,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    problems = validate_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"bench: {problem}", file=sys.stderr)
+        return 1
+    rows = [
+        [label, row["instructions"], f"{row['sim_seconds']:.2f}",
+         f"{row['instr_per_sec']:,.0f}"]
+        for label, row in payload["schemes"].items()
+    ]
+    print(format_table(
+        ["scheme", "instructions", "seconds", "instr/s"], rows,
+        title=f"Simulator throughput ({', '.join(payload['workloads'])})"))
+    print(f"aggregate: {payload['aggregate_instr_per_sec']:,.0f} instr/s "
+          f"(fastpath {'on' if payload['fastpath_enabled'] else 'off'})")
+    path = write_bench(payload, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_timeline(args) -> int:
     config = _configured(args)
     trace = get_workload(args.workload).generate(args.instructions + 2000)
@@ -318,6 +352,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=32)
     p.add_argument("--width", type=int, default=100)
 
+    p = sub.add_parser("bench", help="measure simulator throughput")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: fewer workloads/schemes, small budget")
+    p.add_argument("--instructions", "-n", type=int, default=None,
+                   help="committed-instruction budget per run "
+                        "(default: REPRO_INSTRUCTIONS or 12000)")
+    p.add_argument("--workload", action="append", metavar="NAME",
+                   help="benchmark only NAME (repeatable; default: the mix)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--out", default="BENCH_simulator.json",
+                   help="output JSON path (default: %(default)s)")
+
     return parser
 
 
@@ -330,6 +376,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "timeline": cmd_timeline,
+    "bench": cmd_bench,
 }
 
 

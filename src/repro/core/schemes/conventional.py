@@ -49,7 +49,9 @@ class ConventionalScheme(CheckScheme):
             raise SimulationError("scheme not attached to queues")
         self.stats.bump("stores.resolved")
         if not self._should_search(store):
-            self.stats.bump("lq.searches_filtered")
+            # The queue attribute is the canonical count; the processor
+            # exports it as ``lq.searches_filtered`` when building the
+            # result (bumping scheme stats here as well double-counted it).
             self.lq.searches_filtered += 1
             return None
         self.stats.bump("lq.searches")
@@ -65,7 +67,6 @@ class ConventionalScheme(CheckScheme):
         # for *younger* issued loads to the same line that saw an
         # invalidation; replay from the oldest such load.
         self.lq.inv_searches += 1
-        self.stats.bump("lq.inv_searches")
         line = load.addr & ~(self.line_bytes - 1)
         for other in self.lq.ring:
             if (
@@ -84,7 +85,6 @@ class ConventionalScheme(CheckScheme):
             return
         # Every invalidation searches the whole LQ to mark matching loads.
         self.lq.inv_searches += 1
-        self.stats.bump("lq.inv_searches")
         for load in self.lq.ring:
             if load.issue_cycle >= 0 and (load.addr & ~(line_bytes - 1)) == line_addr:
                 load.inv_marked = True

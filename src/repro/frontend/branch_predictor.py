@@ -116,9 +116,10 @@ class BranchTargetBuffer:
 class CombinedPredictor:
     """Bimodal + gshare with a meta chooser (McFarling-style).
 
-    :meth:`predict` returns ``(taken, snapshot)``; the snapshot carries the
-    global-history value needed for an exact update and for history repair
-    after a misprediction.
+    :meth:`predict` returns ``(taken, snapshot)``; the snapshot is an opaque
+    ``(history, bim, gsh, pred)`` tuple carrying the global-history value
+    needed for an exact update and for history repair after a
+    misprediction.  Treat it as opaque and pass it back to :meth:`resolve`.
     """
 
     def __init__(
@@ -143,30 +144,33 @@ class CombinedPredictor:
     def predict(self, pc: int):
         """Predict direction; speculatively push it into global history."""
         self.lookups += 1
-        history = self.gshare.history
-        bim = self.bimodal.predict(pc)
-        gsh = self.gshare.predict(pc)
-        use_gshare = self._meta[(pc >> 2) & self._meta_mask] >= 2
-        taken = gsh if use_gshare else bim
-        self.gshare.push_history(taken)
-        snapshot = {"history": history, "bim": bim, "gsh": gsh, "pred": taken}
-        return taken, snapshot
+        gshare = self.gshare
+        word = pc >> 2
+        history = gshare.history
+        bim = self.bimodal._table[word & self.bimodal._mask] >= 2
+        gsh = gshare._table[(word ^ history) & gshare._mask] >= 2
+        taken = gsh if self._meta[word & self._meta_mask] >= 2 else bim
+        gshare.history = ((history << 1) | taken) & gshare._hist_mask
+        return taken, (history, bim, gsh, taken)
 
-    def resolve(self, pc: int, taken: bool, snapshot: dict) -> bool:
+    def resolve(self, pc: int, taken: bool, snapshot) -> bool:
         """Update all tables with the true outcome; return mispredicted flag."""
-        mispredicted = snapshot["pred"] != taken
-        i = (pc >> 2) & self._meta_mask
-        bim_ok = snapshot["bim"] == taken
-        gsh_ok = snapshot["gsh"] == taken
+        history, bim, gsh, pred = snapshot
+        mispredicted = pred != taken
+        word = pc >> 2
+        bim_ok = bim == taken
+        gsh_ok = gsh == taken
         if gsh_ok != bim_ok:
-            self._meta[i] = _saturate_up(self._meta[i]) if gsh_ok else _saturate_down(self._meta[i])
+            meta = self._meta
+            i = word & self._meta_mask
+            meta[i] = _saturate_up(meta[i]) if gsh_ok else _saturate_down(meta[i])
         self.bimodal.update(pc, taken)
-        self.gshare.update(pc, taken, snapshot["history"])
+        self.gshare.update(pc, taken, history)
         if mispredicted:
             self.mispredictions += 1
             # Repair speculative history: correct outcome appended to the
             # history that existed at prediction time.
-            self.gshare.set_history(((snapshot["history"] << 1) | int(taken)))
+            self.gshare.set_history(((history << 1) | int(taken)))
         return mispredicted
 
     @property

@@ -3,7 +3,7 @@
 from typing import Optional, Tuple
 
 from repro.errors import TraceError
-from repro.isa.opcodes import InstrClass, LEGAL_MEM_SIZES, NUM_ARCH_REGS
+from repro.isa.opcodes import InstrClass, LEGAL_MEM_SIZES, NUM_ARCH_REGS, uses_fp_queue
 
 
 class MicroOp:
@@ -31,6 +31,11 @@ class MicroOp:
         enables the load-rejection behaviour the paper models.
     ``taken`` / ``target``
         For branches: the resolved direction and target PC.
+
+    The class predicates (``is_load`` …) and the issue-queue side
+    (``fp_side``) are decoded once at construction — trace build time —
+    rather than on every pipeline reference; they are a function of ``cls``
+    and ``dst``, which never change after construction.
     """
 
     __slots__ = (
@@ -43,6 +48,11 @@ class MicroOp:
         "data_src",
         "taken",
         "target",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
+        "fp_side",
     )
 
     def __init__(
@@ -66,22 +76,11 @@ class MicroOp:
         self.data_src = data_src
         self.taken = taken
         self.target = target
-
-    @property
-    def is_load(self) -> bool:
-        return self.cls == InstrClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.cls == InstrClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.cls == InstrClass.LOAD or self.cls == InstrClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.cls == InstrClass.BRANCH
+        self.is_load = cls == InstrClass.LOAD
+        self.is_store = cls == InstrClass.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = cls == InstrClass.BRANCH
+        self.fp_side = uses_fp_queue(cls, dst)
 
     def validate(self) -> None:
         """Raise :class:`TraceError` when the micro-op is malformed."""

@@ -15,14 +15,16 @@ These model the paper's baseline LSQ (Section 2 and 5):
 The queues themselves are scheme-agnostic; dependence-checking schemes
 decide when the associative LQ search actually happens, which is the whole
 point of the paper.
+
+Both search methods are on the simulator's hottest path, so they iterate
+the ring storage in place (no per-search list copies) and exit as soon as
+the outcome can no longer change.
 """
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, NamedTuple, Optional
 
 from repro.backend.dyninst import DynInstr
-from repro.utils.bitops import contains, overlap
 from repro.utils.ring import RingBuffer
 
 
@@ -34,13 +36,21 @@ class ForwardAction(enum.Enum):
     REJECT = "reject"    # matching store can't forward yet: retry later
 
 
-@dataclass
-class ForwardResult:
+class ForwardResult(NamedTuple):
+    """Outcome of one forwarding search (a NamedTuple: it is built once per
+    issued load, and tuple construction is measurably cheaper than a
+    dataclass on that path)."""
+
     action: ForwardAction
     store: Optional[DynInstr]
     #: True when every older store in the SQ had a resolved address, i.e.
     #: the load is provably not a premature load (the paper's *safe load*).
     all_older_resolved: bool
+
+
+_CACHE = ForwardAction.CACHE
+_FORWARD = ForwardAction.FORWARD
+_REJECT = ForwardAction.REJECT
 
 
 class StoreQueue:
@@ -50,6 +60,9 @@ class StoreQueue:
         self.ring = RingBuffer(capacity)
         self.searches = 0
         self.searches_filtered = 0
+        #: seq -> entry index for O(1) lookups by age (forwarding
+        #: provenance checks); maintained by allocate/retire/squash.
+        self.by_seq: Dict[int, DynInstr] = {}
 
     def __len__(self) -> int:
         return len(self.ring)
@@ -60,43 +73,70 @@ class StoreQueue:
 
     def allocate(self, store: DynInstr) -> None:
         self.ring.push(store)
+        self.by_seq[store.seq] = store
 
     def retire_head(self, store: DynInstr) -> None:
         if self.ring.head() is not store:
             raise AssertionError("SQ retired out of order")
         self.ring.pop()
+        del self.by_seq[store.seq]
 
     def squash_younger(self, last_kept_seq: int) -> None:
-        self.ring.squash_younger(lambda s: s.seq <= last_kept_seq)
+        for victim in self.ring.squash_younger(lambda s: s.seq <= last_kept_seq):
+            del self.by_seq[victim.seq]
+
+    def find(self, seq: int) -> Optional[DynInstr]:
+        """The in-flight store with age ``seq``, or None."""
+        return self.by_seq.get(seq)
+
+    def note_filtered_search(self) -> None:
+        """Record a forwarding search skipped by the age filter (Section 3)."""
+        self.searches_filtered += 1
 
     def search_for_forwarding(self, load: DynInstr, count_search: bool = True) -> ForwardResult:
         """Resolve a load's memory source against all older in-flight stores.
 
         Scans older stores youngest-first.  The youngest older store with a
         resolved overlapping address decides the outcome; unresolved older
-        stores make the load speculative but do not block it.
+        stores make the load speculative but do not block it.  The scan
+        stops early once both facts are settled: an outcome has been found
+        and an unresolved older store has been seen.
         """
         if count_search:
             self.searches += 1
         else:
             self.searches_filtered += 1
+        load_seq = load.seq
+        l_addr = load.addr
+        l_end = l_addr + load.size
         all_resolved = True
-        decision: Optional[ForwardResult] = None
-        for store in reversed(list(self.ring)):
-            if store.seq >= load.seq:
+        action = _CACHE
+        match: Optional[DynInstr] = None
+        # Byte-range overlap/containment is inlined (see utils.bitops for
+        # the reference arithmetic); this loop runs once per issued load.
+        for store in reversed(self.ring.items):
+            if store.seq >= load_seq:
                 continue
-            if not store.resolved:
+            if store.resolve_cycle < 0:
                 all_resolved = False
+                if match is not None:
+                    break
                 continue
-            if decision is None and overlap(store.addr, store.size, load.addr, load.size):
-                if contains(store.addr, store.size, load.addr, load.size) and store.pending_data == 0:
-                    decision = ForwardResult(ForwardAction.FORWARD, store, True)
-                else:
-                    decision = ForwardResult(ForwardAction.REJECT, store, True)
-        if decision is None:
-            decision = ForwardResult(ForwardAction.CACHE, None, True)
-        decision.all_older_resolved = all_resolved
-        return decision
+            if match is None:
+                s_addr = store.addr
+                if s_addr < l_end and l_addr < s_addr + store.size:
+                    match = store
+                    if (
+                        s_addr <= l_addr
+                        and l_end <= s_addr + store.size
+                        and store.pending_data == 0
+                    ):
+                        action = _FORWARD
+                    else:
+                        action = _REJECT
+                    if not all_resolved:
+                        break
+        return ForwardResult(action, match, all_resolved)
 
     def oldest_unresolved_seq(self) -> Optional[int]:
         """Age of the oldest store without a resolved address, if any.
@@ -105,7 +145,7 @@ class StoreQueue:
         than every in-flight store can skip the SQ search entirely.
         """
         for store in self.ring:
-            if not store.resolved:
+            if store.resolve_cycle < 0:
                 return store.seq
         return None
 
@@ -154,21 +194,18 @@ class LoadQueue:
         Conservative (as in real designs): forwarding provenance is not
         inspected, so a load that forwarded from a younger store still
         matches.  Returns the *oldest* such load — replaying from it covers
-        every younger one.
+        every younger one; the age-ordered scan returns on the first match.
         """
         if count_search:
             self.searches += 1
         else:
             self.searches_filtered += 1
-        for load in self.ring:
-            if (
-                load.seq > store.seq
-                and load.issue_cycle >= 0
-                and overlap(store.addr, store.size, load.addr, load.size)
-            ):
-                return load
+        s_seq = store.seq
+        s_addr = store.addr
+        s_end = s_addr + store.size
+        for load in self.ring.items:
+            if load.seq > s_seq and load.issue_cycle >= 0:
+                l_addr = load.addr
+                if s_addr < l_addr + load.size and l_addr < s_end:
+                    return load
         return None
-
-    def issued_loads(self) -> List[DynInstr]:
-        """All loads that have issued (for the ground-truth checker)."""
-        return [l for l in self.ring if l.issue_cycle >= 0]

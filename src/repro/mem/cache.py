@@ -46,6 +46,7 @@ class Cache:
         self.config = config
         self._line_shift = log2_exact(config.line_bytes)
         self._set_mask = config.num_sets - 1
+        self._assoc = config.assoc
         # Each set is a list of tags ordered MRU-first.
         self._sets: Dict[int, List[int]] = {}
         self.hits = 0
@@ -64,7 +65,8 @@ class Cache:
 
     def access(self, addr: int) -> bool:
         """Access one address; fill on miss; return hit flag."""
-        index, tag = self._split(addr)
+        tag = addr >> self._line_shift
+        index = tag & self._set_mask
         ways = self._sets.get(index)
         if ways is None:
             ways = []
@@ -77,7 +79,7 @@ class Cache:
             return True
         self.misses += 1
         ways.insert(0, tag)
-        if len(ways) > self.config.assoc:
+        if len(ways) > self._assoc:
             ways.pop()
             self.evictions += 1
         return False

@@ -21,32 +21,40 @@ class MemoryHierarchy:
         self.l1d = Cache(l1d)
         self.l2 = Cache(l2)
         self.memory_latency = memory_latency
+        # Cumulative latencies per outcome, computed once (these are on the
+        # per-load / per-fetch hot path).
+        self._i_hit = l1i.latency
+        self._i_l2 = l1i.latency + l2.latency
+        self._i_mem = l1i.latency + l2.latency + memory_latency
+        self._d_hit = l1d.latency
+        self._d_l2 = l1d.latency + l2.latency
+        self._d_mem = l1d.latency + l2.latency + memory_latency
 
     def fetch(self, pc: int) -> int:
         """Instruction fetch latency for the line containing ``pc``."""
         if self.l1i.access(pc):
-            return self.l1i.config.latency
+            return self._i_hit
         if self.l2.access(pc):
-            return self.l1i.config.latency + self.l2.config.latency
-        return self.l1i.config.latency + self.l2.config.latency + self.memory_latency
+            return self._i_l2
+        return self._i_mem
 
     def read(self, addr: int) -> int:
         """Data-read latency (load execution)."""
         if self.l1d.access(addr):
-            return self.l1d.config.latency
+            return self._d_hit
         if self.l2.access(addr):
-            return self.l1d.config.latency + self.l2.config.latency
-        return self.l1d.config.latency + self.l2.config.latency + self.memory_latency
+            return self._d_l2
+        return self._d_mem
 
     def write(self, addr: int) -> int:
         """Data-write latency (store commit; write-allocate)."""
         # Stores retire through a write buffer; the returned latency is the
         # cache-occupancy cost, not a commit-blocking delay.
         if self.l1d.access(addr):
-            return self.l1d.config.latency
+            return self._d_hit
         if self.l2.access(addr):
-            return self.l1d.config.latency + self.l2.config.latency
-        return self.l1d.config.latency + self.l2.config.latency + self.memory_latency
+            return self._d_l2
+        return self._d_mem
 
     def invalidate(self, addr: int) -> None:
         """Invalidate the data line containing ``addr`` (coherence)."""

@@ -1,0 +1,17 @@
+"""Simulator throughput benchmarking (the ``repro bench`` subcommand)."""
+
+from repro.perf.bench import (
+    BENCH_FILENAME,
+    DEFAULT_MIX,
+    QUICK_MIX,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "DEFAULT_MIX",
+    "QUICK_MIX",
+    "run_bench",
+    "write_bench",
+]

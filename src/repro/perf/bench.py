@@ -1,0 +1,194 @@
+"""Throughput benchmark for the cycle loop.
+
+Measures committed instructions per wall-clock second for every
+dependence-checking scheme over a fixed workload mix, and writes the
+machine-readable ``BENCH_simulator.json`` used to track simulator
+performance across commits.
+
+Methodology (see ``docs/performance.md``):
+
+* only :meth:`Processor.run` is timed (``SimulationResult.sim_seconds``) —
+  trace generation and the functional prewarm exercise unchanged code and
+  would dilute the cycle-loop signal;
+* each (workload, scheme) pair is simulated once after a small untimed
+  warm-up run that settles the interpreter;
+* the figure of merit per scheme is total committed instructions divided
+  by total simulated seconds across the mix (a weighted harmonic mean of
+  the per-workload rates, so slow workloads are not averaged away).
+"""
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.config import CONFIG2, MachineConfig, SchemeConfig
+from repro.sim.processor import NO_FASTPATH_ENV, Processor
+from repro.sim.runner import instruction_budget
+
+#: Default output file, at the repository root by convention.
+BENCH_FILENAME = "BENCH_simulator.json"
+
+#: The default mix: two integer and two floating-point stand-ins spanning
+#: cache-friendly (gzip, equake) and cache-hostile (mcf, twolf) behaviour.
+DEFAULT_MIX = ("gzip", "mcf", "twolf", "equake")
+
+#: CI smoke mix: one cheap workload, the two headline schemes.
+QUICK_MIX = ("gzip", "mcf")
+
+#: Scheme configurations benchmarked, label -> SchemeConfig.
+FULL_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = (
+    ("conventional", SchemeConfig(kind="conventional")),
+    ("storesets", SchemeConfig(kind="conventional", store_sets=True)),
+    ("yla", SchemeConfig(kind="yla")),
+    ("bloom", SchemeConfig(kind="bloom")),
+    ("dmdc", SchemeConfig(kind="dmdc")),
+    ("dmdc-local", SchemeConfig(kind="dmdc", local=True)),
+    ("dmdc-queue8", SchemeConfig(kind="dmdc", checking_queue_entries=8)),
+    ("garg", SchemeConfig(kind="garg")),
+    ("value", SchemeConfig(kind="value")),
+)
+
+QUICK_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = (
+    ("conventional", SchemeConfig(kind="conventional")),
+    ("dmdc", SchemeConfig(kind="dmdc")),
+)
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _machine_info() -> Dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _bench_one(config: MachineConfig, trace, budget: int, seed: int) -> Dict:
+    processor = Processor(config, trace, seed=seed)
+    processor.prewarm()
+    result = processor.run(budget)
+    total_cycles = result.cycles
+    return {
+        "instructions": result.committed,
+        "cycles": total_cycles,
+        "sim_seconds": result.sim_seconds,
+        "instr_per_sec": result.instructions_per_second,
+        "ipc": result.ipc,
+        "fast_forwarded_cycles": processor.fast_forwarded_cycles,
+        "fast_forward_fraction": (
+            processor.fast_forwarded_cycles / total_cycles if total_cycles else 0.0
+        ),
+    }
+
+
+def run_bench(
+    instructions: Optional[int] = None,
+    quick: bool = False,
+    workloads: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    progress=None,
+) -> Dict:
+    """Run the benchmark suite; return the ``BENCH_simulator.json`` payload.
+
+    ``progress``, when given, is called with one status string per
+    completed (workload, scheme) pair.
+    """
+    from repro.workloads import get_workload
+
+    budget = instructions if instructions is not None else instruction_budget()
+    if quick:
+        budget = min(budget, 4_000)
+    mix = tuple(workloads) if workloads else (QUICK_MIX if quick else DEFAULT_MIX)
+    schemes = QUICK_SCHEMES if quick else FULL_SCHEMES
+
+    # Untimed interpreter warm-up on the cheapest pair.
+    warm_trace = get_workload(mix[0]).generate(min(budget, 3_000) + 2_000)
+    _bench_one(CONFIG2.with_scheme(schemes[0][1]), warm_trace,
+               min(budget, 3_000), seed)
+
+    traces = {name: get_workload(name).generate(budget + 2_000) for name in mix}
+    wall_start = time.perf_counter()
+    scheme_rows: Dict[str, Dict] = {}
+    for label, scheme_cfg in schemes:
+        config = CONFIG2.with_scheme(scheme_cfg)
+        per_workload: Dict[str, Dict] = {}
+        total_instr = 0
+        total_cycles = 0
+        total_seconds = 0.0
+        for name in mix:
+            row = _bench_one(config, traces[name], budget, seed)
+            per_workload[name] = row
+            total_instr += row["instructions"]
+            total_cycles += row["cycles"]
+            total_seconds += row["sim_seconds"]
+            if progress is not None:
+                progress(f"{label:12s} {name:8s} {row['instr_per_sec']:>10.0f} instr/s")
+        scheme_rows[label] = {
+            "instructions": total_instr,
+            "cycles": total_cycles,
+            "sim_seconds": total_seconds,
+            "instr_per_sec": total_instr / total_seconds if total_seconds else 0.0,
+            "per_workload": per_workload,
+        }
+
+    agg_instr = sum(r["instructions"] for r in scheme_rows.values())
+    agg_seconds = sum(r["sim_seconds"] for r in scheme_rows.values())
+    return {
+        "schema": 1,
+        "kind": "simulator-throughput",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "machine": _machine_info(),
+        "config": "config2",
+        "instructions_per_run": budget,
+        "seed": seed,
+        "quick": quick,
+        "workloads": list(mix),
+        "fastpath_enabled": not bool(os.environ.get(NO_FASTPATH_ENV)),
+        "wall_seconds": time.perf_counter() - wall_start,
+        "schemes": scheme_rows,
+        "aggregate_instr_per_sec": agg_instr / agg_seconds if agg_seconds else 0.0,
+    }
+
+
+def write_bench(payload: Dict, path: str = BENCH_FILENAME) -> str:
+    """Write the benchmark payload as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Sanity-check a benchmark payload; return a list of problems (CI)."""
+    problems = []
+    for key in ("schema", "git_sha", "machine", "workloads", "schemes",
+                "aggregate_instr_per_sec", "instructions_per_run"):
+        if key not in payload:
+            problems.append(f"missing key: {key}")
+    for label, row in payload.get("schemes", {}).items():
+        if row.get("instructions", 0) <= 0:
+            problems.append(f"scheme {label}: no instructions committed")
+        if row.get("instr_per_sec", 0) <= 0:
+            problems.append(f"scheme {label}: non-positive throughput")
+        if not row.get("per_workload"):
+            problems.append(f"scheme {label}: missing per-workload rows")
+    return problems

@@ -22,10 +22,20 @@ A simulator-side ground-truth checker flags every *true* premature load at
 store resolution; any scheme that lets such a load retire un-replayed
 raises :class:`~repro.errors.OrderingViolationMissed`.  The flags also feed
 DMDC's replay taxonomy (Tables 3/5 of the paper).
+
+Performance: the cycle loop has a fast path (see
+``docs/performance.md``) — an event-horizon skipper jumps over stretches
+of provably idle cycles, hot-path counters live in pre-bound integer
+slots (:class:`~repro.stats.counters.HotCounters`), and the LSQ searches
+run allocation-free.  ``REPRO_NO_FASTPATH=1`` disables the cycle skipper;
+results are bit-identical either way (enforced by
+``tests/test_fastpath_equivalence.py``).
 """
 
 import heapq
-from collections import defaultdict, deque
+import os
+import time
+from collections import deque
 from typing import Dict, List, Optional, Set
 
 from repro.backend.dyninst import DynInstr, InstrState
@@ -37,16 +47,36 @@ from repro.core.schemes.conventional import ConventionalScheme
 from repro.errors import OrderingViolationMissed, SimulationError
 from repro.frontend.branch_predictor import CombinedPredictor
 from repro.frontend.wrongpath import WrongPathModel
-from repro.isa.opcodes import InstrClass, uses_fp_queue
+from repro.isa.opcodes import InstrClass
 from repro.isa.trace import Trace
 from repro.lsq.queues import ForwardAction, LoadQueue, StoreQueue
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.result import SimulationResult
-from repro.stats.counters import CounterSet
-from repro.utils.bitops import contains, overlap
+from repro.stats.counters import CounterSet, HotCounters
 from repro.utils.rng import DeterministicRng
 from repro.utils.ring import RingBuffer
+
+#: Environment escape hatch: set to any non-empty value to force every
+#: cycle to be stepped individually (used by the equivalence tests).
+NO_FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+_INF = float("inf")
+
+# Enum members hoisted to module level: attribute access on an Enum class
+# goes through a metaclass descriptor, which is measurable inside the
+# per-cycle loops.  Members are singletons, so identity tests are exact.
+_DISPATCHED = InstrState.DISPATCHED
+_READY = InstrState.READY
+_ISSUED = InstrState.ISSUED
+_COMPLETED = InstrState.COMPLETED
+_COMMITTED = InstrState.COMMITTED
+_SQUASHED = InstrState.SQUASHED
+_FWD_FORWARD = ForwardAction.FORWARD
+_FWD_REJECT = ForwardAction.REJECT
+_FWD_CACHE = ForwardAction.CACHE
+_CLS_STORE = InstrClass.STORE
+_CLS_LOAD = InstrClass.LOAD
 
 
 class Processor:
@@ -106,15 +136,61 @@ class Processor:
         self.iq_int_count = 0
         self.iq_fp_count = 0
         self._ready: List = []  # heap of (seq, DynInstr)
-        self._completions: Dict[int, List[DynInstr]] = defaultdict(list)
-        self._retries: Dict[int, List[DynInstr]] = defaultdict(list)
+        # Cycle-keyed event schedules.  The companion key-heaps track the
+        # earliest pending cycle incrementally (one heap entry per live
+        # key), which is what lets the fast path find the event horizon in
+        # O(1) instead of scanning the dicts.
+        self._completions: Dict[int, List[DynInstr]] = {}
+        self._completion_keys: List[int] = []
+        self._retries: Dict[int, List[DynInstr]] = {}
+        self._retry_keys: List[int] = []
         self.committed = 0
-        self._commit_target = float("inf")
+        self._commit_target = _INF
+        self._cycle_limit = _INF
         self.counters = CounterSet()
+        self.hot = HotCounters()
         self._checking_cycles = 0
         self._replay_streak: Dict[int, int] = {}
         self._force_nonspec: Set[int] = set()
         self._squashed_this_cycle = False
+        #: Idle cycles jumped over by the fast path (diagnostic only —
+        #: deliberately NOT a counter, so results stay bit-identical with
+        #: the fast path disabled).
+        self.fast_forwarded_cycles = 0
+        #: Fast path gate: off via env, and off whenever the invalidation
+        #: injector is live (it draws from the RNG every cycle, so skipped
+        #: cycles would change the random stream).
+        self._fastpath = (
+            not os.environ.get(NO_FASTPATH_ENV)
+            and not self.invalidations.enabled
+        )
+        #: Cached injector gate: when off, the per-cycle injection call and
+        #: the per-load address tracking are provably dead and skipped.
+        self._inv_enabled = self.invalidations.enabled
+        # Hot-path caches: config scalars and the stable backing lists of
+        # the age-ordered queues, bound once so the per-cycle loops touch
+        # locals instead of attribute chains.  RingBuffer documents its
+        # ``items`` list object as stable for the buffer's lifetime.
+        self._width = config.width
+        self._decode_latency = config.decode_latency
+        self._fetch_cap = config.fetch_buffer
+        self._iq_int_cap = config.iq_int
+        self._iq_fp_cap = config.iq_fp
+        self._ports = config.dcache_ports
+        self._reject_delay = config.reject_retry_delay
+        self._fwd_latency = 1 + config.l1d_latency
+        self._l1i_latency = config.l1i_latency
+        self._sq_filter = config.scheme.sq_filter
+        self._rob_items = self.rob.items
+        self._rob_cap = config.rob_size
+        self._lq_items = self.lq.ring.items
+        self._lq_cap = config.lq_size
+        self._sq_items = self.sq.ring.items
+        self._sq_cap = config.sq_size
+        self._sq_by_seq = self.sq.by_seq
+        self._trace_ops = trace.ops
+        self._trace_len = len(trace)
+        self._fu_latency_by_cls = self.fus.latency_by_cls
         #: Optional PipelineTracer; when set, every pipeline event is recorded.
         self.tracer = None
 
@@ -133,14 +209,14 @@ class Processor:
         n = len(self.trace) if instructions is None else min(instructions, len(self.trace))
         predictor = self.predictor
         memory = self.memory
-        for i in range(n):
-            uop = self.trace[i]
+        btb_install = predictor.btb.install
+        for uop in self.trace.ops[:n]:
             memory.fetch(uop.pc)
             if uop.is_branch:
                 _, snapshot = predictor.predict(uop.pc)
                 predictor.resolve(uop.pc, uop.taken, snapshot)
                 if uop.taken:
-                    predictor.btb.install(uop.pc, uop.target)
+                    btb_install(uop.pc, uop.target)
         # The warm-up should not leak into reported statistics.
         memory.l1i.hits = memory.l1i.misses = memory.l1i.evictions = 0
         memory.l2.hits = memory.l2.misses = memory.l2.evictions = 0
@@ -154,6 +230,8 @@ class Processor:
             max_cycles = max(200_000, max_instructions * 60)
         target = min(max_instructions, len(self.trace))
         self._commit_target = target
+        self._cycle_limit = max_cycles
+        t0 = time.perf_counter()
         while self.committed < target:
             self.step()
             if self.cycle > max_cycles:
@@ -161,116 +239,282 @@ class Processor:
                     f"no forward progress: {self.committed}/{target} committed "
                     f"after {self.cycle} cycles on {self.trace.name}"
                 )
+        sim_seconds = time.perf_counter() - t0
         self.scheme.finalize(self.cycle)
-        return self._build_result()
+        result = self._build_result()
+        result.sim_seconds = sim_seconds
+        return result
 
     def step(self) -> None:
-        """Advance one cycle (commit -> writeback -> issue -> dispatch -> fetch)."""
+        """Advance one cycle (commit -> writeback -> issue -> dispatch -> fetch).
+
+        With the fast path enabled, a step may first jump ``self.cycle``
+        over a stretch of provably idle cycles (see
+        :meth:`_maybe_fast_forward`) and then execute the next cycle in
+        which any stage can act.  Cycle numbering, counters and RNG streams
+        are exactly as if every skipped cycle had been stepped.
+        """
+        if self._fastpath and self.tracer is None:
+            self._maybe_fast_forward()
         self._squashed_this_cycle = False
         if self.scheme.checking_active:
             self._checking_cycles += 1
-        self._stage_commit()
-        self._stage_complete()
-        self._stage_issue()
-        self._stage_dispatch()
-        self._stage_fetch()
-        self._inject_invalidations()
+        cycle = self.cycle
+        # Each stage is gated on the cheap "can it possibly act?" test so an
+        # idle stage costs one comparison instead of a call + prologue.  The
+        # gates read the same state the stage's own early-exit would.
+        rob_items = self._rob_items
+        if rob_items and rob_items[0].state is _COMPLETED:
+            self._stage_commit()
+        events = self._completions.pop(cycle, None)
+        if events is not None:
+            self._stage_complete(events)
+        if self._ready or self._retries:
+            self._stage_issue()
+        if self.fetch_buffer:
+            self._stage_dispatch()
+        if self.fetch_blocked_branch is not None or cycle < self.fetch_resume_cycle:
+            self.hot.fetch_stall_cycles += 1
+        elif len(self.fetch_buffer) < self._fetch_cap and self.fetch_idx < self._trace_len:
+            self._stage_fetch()
+        if self._inv_enabled:
+            self._inject_invalidations()
         self.cycle += 1
+
+    # ==================================================================
+    # Event-horizon fast forward
+    # ==================================================================
+    def _next_event_cycle(self, keys: List[int], schedule: Dict[int, list]) -> float:
+        """Earliest live cycle in ``schedule`` (inf if none), via its key-heap."""
+        while keys and keys[0] not in schedule:
+            heapq.heappop(keys)  # key already drained by its stage
+        return keys[0] if keys else _INF
+
+    def _maybe_fast_forward(self) -> None:
+        """Jump ``self.cycle`` to the next cycle in which any stage can act.
+
+        Legal only when the current architectural state provably freezes
+        until a scheduled event: no instruction is ready to issue, the ROB
+        head cannot commit, dispatch and fetch are blocked on conditions
+        that only an event (completion, retry, timer) can clear.  During
+        the skipped stretch the only per-cycle observables are the idle
+        bookkeeping counters (fetch/dispatch stall cycles, checking-mode
+        cycles); those are accounted in closed form below, so a skip is
+        indistinguishable from stepping each cycle (the invariant the
+        equivalence suite pins down).
+        """
+        if self._ready:
+            return  # something can issue this cycle
+        rob_items = self._rob_items
+        if rob_items and rob_items[0].state is _COMPLETED:
+            return  # commit can act this cycle
+        cycle = self.cycle
+        # Normal stepping would run up to (and including) cycle_limit + 1
+        # before the driver raises; never skip past that horizon so the
+        # no-forward-progress error fires with identical cycle counts.
+        target = self._cycle_limit + 1
+        t = self._next_event_cycle(self._completion_keys, self._completions)
+        if t < target:
+            target = t
+        t = self._next_event_cycle(self._retry_keys, self._retries)
+        if t < target:
+            target = t
+        stall_slot = None
+        buf = self.fetch_buffer
+        if buf:
+            first = buf[0]
+            decode_ready = first.fetch_cycle + self._decode_latency
+            if cycle < decode_ready:
+                if decode_ready < target:
+                    target = decode_ready
+            else:
+                stall_slot = self._dispatch_stall_slot(first)
+                if stall_slot is None:
+                    return  # dispatch can act this cycle
+        blocked = self.fetch_blocked_branch is not None
+        resume = self.fetch_resume_cycle
+        if (
+            not blocked
+            and len(buf) < self._fetch_cap
+            and self.fetch_idx < self._trace_len
+        ):
+            if cycle >= resume:
+                return  # fetch can act this cycle
+            if resume < target:
+                target = resume
+        skipped = target - cycle
+        if skipped < 1 or target == _INF:
+            return  # an event fires this very cycle (or nothing ever
+            #         happens: the driver's cycle-limit guard handles it)
+        # --- closed-form accounting for the skipped idle cycles ---------
+        if self.scheme.checking_active:
+            self._checking_cycles += skipped
+        hot = self.hot
+        if blocked:
+            hot.fetch_stall_cycles += skipped
+        elif resume > cycle:
+            hot.fetch_stall_cycles += (resume if resume < target else target) - cycle
+        if stall_slot is not None:
+            setattr(hot, stall_slot, getattr(hot, stall_slot) + skipped)
+        self.fast_forwarded_cycles += skipped
+        self.cycle = target
+
+    def _dispatch_stall_slot(self, instr: DynInstr) -> Optional[str]:
+        """The HotCounters slot dispatch would bump for ``instr`` this
+        cycle, or None when dispatch could actually proceed.
+
+        Mirrors the resource checks of :meth:`_stage_dispatch` in order,
+        with no side effects (the register check inspects the free list
+        instead of allocating).
+        """
+        if len(self._rob_items) >= self._rob_cap:
+            return "stall_rob_full"
+        if instr.fp_side:
+            if self.iq_fp_count >= self._iq_fp_cap:
+                return "stall_iq_full"
+        elif self.iq_int_count >= self._iq_int_cap:
+            return "stall_iq_full"
+        if instr.is_load and len(self._lq_items) >= self._lq_cap:
+            return "stall_lq_full"
+        if instr.is_store and len(self._sq_items) >= self._sq_cap:
+            return "stall_sq_full"
+        if instr.uop.dst is not None:
+            regs = self.regs_fp if instr.uop.dst >= 32 else self.regs_int
+            if regs.free <= 0:
+                return "stall_regs_full"
+        return None
+
+    # ==================================================================
+    # Event scheduling
+    # ==================================================================
+    def _schedule_completion(self, cycle: int, instr: DynInstr) -> None:
+        events = self._completions.get(cycle)
+        if events is None:
+            self._completions[cycle] = [instr]
+            heapq.heappush(self._completion_keys, cycle)
+        else:
+            events.append(instr)
+
+    def _schedule_retry(self, cycle: int, load: DynInstr) -> None:
+        events = self._retries.get(cycle)
+        if events is None:
+            self._retries[cycle] = [load]
+            heapq.heappush(self._retry_keys, cycle)
+        else:
+            events.append(load)
 
     # ==================================================================
     # Commit
     # ==================================================================
     def _stage_commit(self) -> None:
-        for _ in range(self.config.width):
+        rob_items = self._rob_items
+        scheme = self.scheme
+        cycle = self.cycle
+        for _ in range(self._width):
             if self.committed >= self._commit_target:
                 return
-            head = self.rob.head()
-            if head is None or head.state != InstrState.COMPLETED:
+            if not rob_items:
                 break
-            decision = self.scheme.on_commit(head, self.cycle)
+            head = rob_items[0]
+            if head.state is not _COMPLETED:
+                break
+            decision = scheme.on_commit(head, cycle)
             if decision == CommitDecision.REPLAY:
-                self.counters.bump("replays")
-                self.counters.bump("replays.commit_time")
+                self.hot.replays += 1
+                self.hot.replays_commit_time += 1
                 if self.tracer is not None:
-                    self.tracer.record("replay", head, self.cycle)
+                    self.tracer.record("replay", head, cycle)
                 self._squash_from(head)
                 return
             if head.is_load and head.true_violation_store >= 0:
                 raise OrderingViolationMissed(
                     f"load seq={head.seq} addr={head.addr:#x} retired despite a "
                     f"premature issue past store seq={head.true_violation_store} "
-                    f"under scheme {self.scheme.name}"
+                    f"under scheme {scheme.name}"
                 )
             self._retire(head)
 
     def _retire(self, instr: DynInstr) -> None:
-        instr.state = InstrState.COMMITTED
+        instr.state = _COMMITTED
         instr.commit_cycle = self.cycle
         if self.tracer is not None:
             self.tracer.record("commit", instr, self.cycle)
-        self.rob.pop()
+        self._rob_items.pop(0)
+        hot = self.hot
         uop = instr.uop
         if uop.dst is not None:
             (self.regs_fp if uop.dst >= 32 else self.regs_int).release()
             if self.rename.get(uop.dst) is instr:
                 del self.rename[uop.dst]
         if instr.is_load:
-            self.lq.retire_head(instr)
-            self.counters.bump("commit.loads")
+            lq_items = self._lq_items
+            if not lq_items or lq_items[0] is not instr:
+                raise AssertionError("LQ retired out of order")
+            lq_items.pop(0)
+            hot.commit_loads += 1
             if self.scheme.reexecutes_loads:
                 # Value-based checking: every load re-accesses the cache.
                 self.memory.read(instr.addr)
-                self.counters.bump("dcache.reexecutions")
+                hot.dcache_reexecutions += 1
             if instr.safe:
-                self.counters.bump("commit.safe_loads")
+                hot.commit_safe_loads += 1
         elif instr.is_store:
             self.sq.retire_head(instr)
             self.memory.write(instr.addr)
-            self.counters.bump("commit.stores")
+            hot.commit_stores += 1
         elif instr.is_branch:
-            self.counters.bump("commit.branches")
+            hot.commit_branches += 1
         self.committed += 1
-        self.counters.bump("commit.instructions")
+        hot.commit_instructions += 1
         self._replay_streak.pop(instr.trace_idx, None)
         self._force_nonspec.discard(instr.trace_idx)
 
     # ==================================================================
     # Writeback / completion
     # ==================================================================
-    def _stage_complete(self) -> None:
-        for instr in self._completions.pop(self.cycle, ()):
-            if instr.squashed or instr.state == InstrState.COMPLETED:
+    def _stage_complete(self, events: List[DynInstr]) -> None:
+        """Writeback for the completions scheduled at the current cycle
+        (already popped from the schedule by :meth:`step`)."""
+        cycle = self.cycle
+        hot = self.hot
+        for instr in events:
+            state = instr.state
+            if state is _SQUASHED or state is _COMPLETED:
                 continue
-            instr.state = InstrState.COMPLETED
-            instr.complete_cycle = self.cycle
+            instr.state = _COMPLETED
+            instr.complete_cycle = cycle
             if self.tracer is not None:
-                self.tracer.record("complete", instr, self.cycle)
+                self.tracer.record("complete", instr, cycle)
             if instr.uop.dst is not None:
-                self.counters.bump("regfile.writes")
-            self._wake_consumers(instr)
+                hot.regfile_writes += 1
+            if instr.consumers:
+                self._wake_consumers(instr)
             if instr.is_branch:
                 self._resolve_branch(instr)
 
     def _wake_consumers(self, producer: DynInstr) -> None:
-        for consumer, kind in producer.consumers:
-            if consumer.squashed:
+        consumers = producer.consumers
+        hot = self.hot
+        ready = self._ready
+        for consumer, kind in consumers:
+            if consumer.state is _SQUASHED:
                 continue
-            self.counters.bump("iq.wakeups")
+            hot.iq_wakeups += 1
             if kind == "op":
                 consumer.pending_ops -= 1
-                if consumer.pending_ops == 0 and consumer.state == InstrState.DISPATCHED:
-                    consumer.state = InstrState.READY
-                    heapq.heappush(self._ready, (consumer.seq, consumer))
+                if consumer.pending_ops == 0 and consumer.state is _DISPATCHED:
+                    consumer.state = _READY
+                    heapq.heappush(ready, (consumer.seq, consumer))
             else:  # store data
                 consumer.pending_data -= 1
                 if (
                     consumer.pending_data == 0
                     and consumer.is_store
-                    and consumer.resolved
-                    and consumer.state == InstrState.ISSUED
+                    and consumer.resolve_cycle >= 0
+                    and consumer.state is _ISSUED
                 ):
-                    self._completions[self.cycle + 1].append(consumer)
-        producer.consumers.clear()
+                    self._schedule_completion(self.cycle + 1, consumer)
+        consumers.clear()
 
     def _resolve_branch(self, branch: DynInstr) -> None:
         uop = branch.uop
@@ -281,27 +525,34 @@ class Processor:
             self.fetch_blocked_branch = None
             self.fetch_resume_cycle = self.cycle + self.config.branch_penalty
             if mispredicted:
-                self.counters.bump("branch.mispredicts")
+                self.hot.branch_mispredicts += 1
                 self.scheme.on_recovery(branch.seq)
             else:
-                self.counters.bump("branch.misfetches")
+                self.hot.branch_misfetches += 1
 
     # ==================================================================
     # Issue / execute
     # ==================================================================
     def _stage_issue(self) -> None:
-        self.fus.new_cycle()
-        for load in self._retries.pop(self.cycle, ()):
-            if not load.squashed and load.state == InstrState.READY:
-                heapq.heappush(self._ready, (load.seq, load))
-        ports_left = self.config.dcache_ports
+        cycle = self.cycle
+        ready = self._ready
+        retries = self._retries.pop(cycle, None)
+        if retries is not None:
+            for load in retries:
+                if load.state is _READY:
+                    heapq.heappush(ready, (load.seq, load))
+        if not ready:
+            return  # nothing to issue: the FU reset below would be a no-op
+        fus = self.fus
+        fus.new_cycle()
+        width = self._width
+        ports_left = self._ports
         issued = 0
         deferred: List[DynInstr] = []
-        while self._ready and issued < self.config.width:
-            _, instr = heapq.heappop(self._ready)
-            if instr.squashed or instr.state != InstrState.READY:
+        while ready and issued < width:
+            _, instr = heapq.heappop(ready)
+            if instr.state is not _READY:
                 continue
-            cls = instr.uop.cls
             if instr.is_load:
                 outcome, ports_left = self._try_issue_load(instr, ports_left, deferred)
                 if outcome:
@@ -309,7 +560,7 @@ class Processor:
                 if self._squashed_this_cycle:
                     break
             elif instr.is_store:
-                if not self.fus.try_acquire(cls):
+                if not fus.try_acquire(_CLS_STORE):
                     deferred.append(instr)
                     continue
                 self._issue_store(instr)
@@ -317,13 +568,13 @@ class Processor:
                 if self._squashed_this_cycle:
                     break
             else:
-                if not self.fus.try_acquire(cls):
+                if not fus.try_acquire(instr.uop.cls):
                     deferred.append(instr)
                     continue
                 self._issue_alu(instr)
                 issued += 1
         for instr in deferred:
-            heapq.heappush(self._ready, (instr.seq, instr))
+            heapq.heappush(ready, (instr.seq, instr))
 
     def _free_iq_entry(self, instr: DynInstr) -> None:
         if instr.in_iq:
@@ -334,37 +585,51 @@ class Processor:
                 self.iq_int_count -= 1
 
     def _issue_alu(self, instr: DynInstr) -> None:
-        instr.state = InstrState.ISSUED
-        instr.issue_cycle = self.cycle
+        cycle = self.cycle
+        instr.state = _ISSUED
+        instr.issue_cycle = cycle
         if self.tracer is not None:
-            self.tracer.record("issue", instr, self.cycle)
-        self._free_iq_entry(instr)
-        self.counters.bump("issue.instructions")
-        self.counters.bump("regfile.reads", len(instr.uop.srcs))
-        self.counters.bump("fu.ops")
-        lat = self.fus.latency(instr.uop.cls)
-        self._completions[self.cycle + lat].append(instr)
+            self.tracer.record("issue", instr, cycle)
+        if instr.in_iq:  # _free_iq_entry, inlined (hot leaf)
+            instr.in_iq = False
+            if instr.fp_side:
+                self.iq_fp_count -= 1
+            else:
+                self.iq_int_count -= 1
+        hot = self.hot
+        hot.issue_instructions += 1
+        hot.regfile_reads += len(instr.uop.srcs)
+        hot.fu_ops += 1
+        when = cycle + self._fu_latency_by_cls[instr.uop.cls]
+        completions = self._completions
+        events = completions.get(when)
+        if events is None:
+            completions[when] = [instr]
+            heapq.heappush(self._completion_keys, when)
+        else:
+            events.append(instr)
 
     def _issue_store(self, store: DynInstr) -> None:
         """AGU issue: the store's address resolves now."""
-        store.state = InstrState.ISSUED
+        store.state = _ISSUED
         store.issue_cycle = self.cycle
         store.resolve_cycle = self.cycle
         if self.tracer is not None:
             self.tracer.record("issue", store, self.cycle)
         self._free_iq_entry(store)
-        self.counters.bump("issue.stores")
-        self.counters.bump("regfile.reads", len(store.uop.srcs))
+        hot = self.hot
+        hot.issue_stores += 1
+        hot.regfile_reads += len(store.uop.srcs)
         if self.storesets is not None:
             self.storesets.store_resolved(store.uop.pc, store.seq)
         self._ground_truth_store_resolve(store)
         if store.pending_data == 0:
-            self._completions[self.cycle + 1].append(store)
+            self._schedule_completion(self.cycle + 1, store)
         # else: completion is scheduled when the data producer completes.
         victim = self.scheme.on_store_resolve(store, self.cycle)
         if victim is not None and not victim.squashed:
-            self.counters.bump("replays")
-            self.counters.bump("replays.execution_time")
+            hot.replays += 1
+            hot.replays_execution_time += 1
             self._squash_from(victim)
 
     def _ground_truth_store_resolve(self, store: DynInstr) -> None:
@@ -373,81 +638,81 @@ class Processor:
         A load is exempt when it forwarded from a store *younger* than this
         one that fully covered it (its data cannot be stale).
         """
-        s_addr, s_size, s_seq = store.addr, store.size, store.seq
-        for load in self.lq.ring:
-            if (
-                load.seq > s_seq
-                and load.issue_cycle >= 0
-                and load.state != InstrState.COMMITTED
-                and overlap(s_addr, s_size, load.addr, load.size)
-                and load.true_violation_store < 0
-            ):
-                if load.forward_store_seq > s_seq:
-                    fwd = self._find_sq_entry(load.forward_store_seq)
-                    if fwd is not None and contains(fwd.addr, fwd.size, load.addr, load.size):
-                        continue
-                load.true_violation_store = s_seq
-                load.true_violation_pc = store.uop.pc
-                self.counters.bump("groundtruth.violations")
-
-    def _find_sq_entry(self, seq: int) -> Optional[DynInstr]:
-        for store in self.sq.ring:
-            if store.seq == seq:
-                return store
-        return None
+        s_addr, s_seq = store.addr, store.seq
+        s_end = s_addr + store.size
+        sq_by_seq = self._sq_by_seq
+        for load in self._lq_items:
+            if load.seq > s_seq and load.issue_cycle >= 0:
+                l_addr = load.addr
+                l_end = l_addr + load.size
+                if (
+                    s_addr < l_end
+                    and l_addr < s_end
+                    and load.state is not _COMMITTED
+                    and load.true_violation_store < 0
+                ):
+                    if load.forward_store_seq > s_seq:
+                        fwd = sq_by_seq.get(load.forward_store_seq)
+                        if (
+                            fwd is not None
+                            and fwd.addr <= l_addr
+                            and l_end <= fwd.addr + fwd.size
+                        ):
+                            continue
+                    load.true_violation_store = s_seq
+                    load.true_violation_pc = store.uop.pc
+                    self.hot.groundtruth_violations += 1
 
     def _try_issue_load(self, load: DynInstr, ports_left: int, deferred: List[DynInstr]):
         """Attempt to issue one load; returns (issued?, ports_left)."""
+        hot = self.hot
         if load.trace_idx in self._force_nonspec and self.sq.oldest_unresolved_seq() is not None:
             # Livelock guard: after repeated replays this load waits until
             # every older store has resolved (it then issues as a safe load).
-            self._retries[self.cycle + 1].append(load)
+            self._schedule_retry(self.cycle + 1, load)
             return False, ports_left
         if self.storesets is not None:
             blocker = self.storesets.blocking_store(load.uop.pc, load.seq)
             if blocker is not None:
                 # Predicted dependent on an in-flight unresolved store: wait.
-                self.counters.bump("storesets.load_delays")
-                self._retries[self.cycle + 2].append(load)
+                hot.storesets_load_delays += 1
+                self._schedule_retry(self.cycle + 2, load)
                 return False, ports_left
         if ports_left <= 0:
             deferred.append(load)
             return False, ports_left
-        if not self.fus.try_acquire(InstrClass.LOAD):
+        if not self.fus.try_acquire(_CLS_LOAD):
             deferred.append(load)
             return False, ports_left
 
         # Section 3 extension: a load older than every in-flight store can
         # skip the SQ search (tracked by an oldest-store-age register).
-        sq_oldest = self.sq.oldest_seq()
-        if self.config.scheme.sq_filter and (sq_oldest is None or load.seq < sq_oldest):
-            self.counters.bump("sq.searches_filtered_age")
-            self.sq.searches_filtered += 1
-            result_action = ForwardAction.CACHE
+        sq = self.sq
+        sq_items = self._sq_items
+        if self._sq_filter and (not sq_items or load.seq < sq_items[0].seq):
+            sq.searches_filtered += 1
+            result_action = _FWD_CACHE
             all_older_resolved = True
             fwd_store = None
         else:
-            result = self.sq.search_for_forwarding(load)
-            self.counters.bump("sq.searches")
-            result_action = result.action
-            all_older_resolved = result.all_older_resolved
-            fwd_store = result.store
+            result_action, fwd_store, all_older_resolved = sq.search_for_forwarding(load)
+            hot.sq_searches += 1
 
-        if result_action == ForwardAction.REJECT:
+        if result_action is _FWD_REJECT:
             load.rejections += 1
-            self.counters.bump("load.rejections")
+            hot.load_rejections += 1
             if self.tracer is not None:
                 self.tracer.record("reject", load, self.cycle)
-            self._retries[self.cycle + self.config.reject_retry_delay].append(load)
+            self._schedule_retry(self.cycle + self._reject_delay, load)
             return True, ports_left  # consumed bandwidth this cycle
 
-        load.state = InstrState.ISSUED
+        load.state = _ISSUED
         load.issue_cycle = self.cycle
         if self.tracer is not None:
             self.tracer.record("issue", load, self.cycle)
         self._free_iq_entry(load)
-        self.counters.bump("issue.loads")
-        self.counters.bump("regfile.reads", len(load.uop.srcs))
+        hot.issue_loads += 1
+        hot.regfile_reads += len(load.uop.srcs)
         load.speculative_issue = not all_older_resolved
         load.safe = all_older_resolved
         if load.trace_idx in self._force_nonspec and all_older_resolved:
@@ -457,24 +722,25 @@ class Processor:
             # guarantees forward progress.
             load.guard_bypass = True
         if load.safe:
-            self.counters.bump("load.safe_at_issue")
+            hot.load_safe_at_issue += 1
         self.wrongpath.observe_address(load.addr)
-        self.invalidations.observe(load.addr)
+        if self._inv_enabled:
+            self.invalidations.observe(load.addr)
 
-        if result_action == ForwardAction.FORWARD:
+        if result_action is _FWD_FORWARD:
             load.forward_store_seq = fwd_store.seq
-            self.counters.bump("load.forwarded")
-            latency = 1 + self.config.l1d_latency
+            hot.load_forwarded += 1
+            latency = self._fwd_latency
         else:
             ports_left -= 1
-            self.counters.bump("dcache.reads")
+            hot.dcache_reads += 1
             latency = 1 + self.memory.read(load.addr)
-        self._completions[self.cycle + latency].append(load)
+        self._schedule_completion(self.cycle + latency, load)
 
         victim = self.scheme.on_load_issue(load, self.cycle)
         if victim is not None and not victim.squashed:
-            self.counters.bump("replays")
-            self.counters.bump("replays.coherence")
+            hot.replays += 1
+            hot.replays_coherence += 1
             self._squash_from(victim)
         return True, ports_left
 
@@ -482,135 +748,177 @@ class Processor:
     # Dispatch (rename + allocate)
     # ==================================================================
     def _stage_dispatch(self) -> None:
+        buf = self.fetch_buffer
+        if not buf:
+            return
+        cycle = self.cycle
+        decode_latency = self._decode_latency
+        if cycle < buf[0].fetch_cycle + decode_latency:
+            return  # front of the buffer is still in decode
         dispatched = 0
-        cfg = self.config
-        while self.fetch_buffer and dispatched < cfg.width:
-            instr = self.fetch_buffer[0]
-            if self.cycle < instr.fetch_cycle + cfg.decode_latency:
+        hot = self.hot
+        width = self._width
+        rename = self.rename
+        ready = self._ready
+        rob_items = self._rob_items
+        rob_cap = self._rob_cap
+        lq_items = self._lq_items
+        lq_cap = self._lq_cap
+        sq_items = self._sq_items
+        sq_cap = self._sq_cap
+        iq_fp_cap = self._iq_fp_cap
+        iq_int_cap = self._iq_int_cap
+        while buf and dispatched < width:
+            instr = buf[0]
+            if cycle < instr.fetch_cycle + decode_latency:
                 break
             uop = instr.uop
-            if self.rob.full:
-                self.counters.bump("stall.rob_full")
+            if len(rob_items) >= rob_cap:
+                hot.stall_rob_full += 1
                 break
             if instr.fp_side:
-                if self.iq_fp_count >= cfg.iq_fp:
-                    self.counters.bump("stall.iq_full")
+                if self.iq_fp_count >= iq_fp_cap:
+                    hot.stall_iq_full += 1
                     break
-            elif self.iq_int_count >= cfg.iq_int:
-                self.counters.bump("stall.iq_full")
+            elif self.iq_int_count >= iq_int_cap:
+                hot.stall_iq_full += 1
                 break
-            if instr.is_load and self.lq.full:
-                self.counters.bump("stall.lq_full")
+            is_load = instr.is_load
+            is_store = instr.is_store
+            if is_load and len(lq_items) >= lq_cap:
+                hot.stall_lq_full += 1
                 break
-            if instr.is_store and self.sq.full:
-                self.counters.bump("stall.sq_full")
+            if is_store and len(sq_items) >= sq_cap:
+                hot.stall_sq_full += 1
                 break
-            if uop.dst is not None:
-                regs = self.regs_fp if uop.dst >= 32 else self.regs_int
+            dst = uop.dst
+            if dst is not None:
+                regs = self.regs_fp if dst >= 32 else self.regs_int
                 if not regs.try_allocate():
-                    self.counters.bump("stall.regs_full")
+                    hot.stall_regs_full += 1
                     break
 
-            self.fetch_buffer.popleft()
-            instr.dispatch_cycle = self.cycle
+            buf.popleft()
+            instr.dispatch_cycle = cycle
             if self.tracer is not None:
-                self.tracer.record("dispatch", instr, self.cycle)
-            self.rob.push(instr)
+                self.tracer.record("dispatch", instr, cycle)
+            rob_items.append(instr)  # capacity pre-checked above
             instr.in_iq = True
             if instr.fp_side:
                 self.iq_fp_count += 1
             else:
                 self.iq_int_count += 1
-            if instr.is_load:
-                self.lq.allocate(instr)
-                self.counters.bump("lq.writes")
-            elif instr.is_store:
-                self.sq.allocate(instr)
-                self.counters.bump("sq.writes")
+            if is_load:
+                lq_items.append(instr)
+                hot.lq_writes += 1
+            elif is_store:
+                sq_items.append(instr)
+                self._sq_by_seq[instr.seq] = instr
+                hot.sq_writes += 1
                 if self.storesets is not None:
                     self.storesets.store_dispatched(uop.pc, instr.seq)
-            self._wire_dependences(instr)
-            if uop.dst is not None:
-                self.rename[uop.dst] = instr
-            self.counters.bump("rename.ops")
-            self.counters.bump("rob.writes")
-            if instr.pending_ops == 0:
-                instr.state = InstrState.READY
-                heapq.heappush(self._ready, (instr.seq, instr))
+            # Dependence wiring (inlined — the old _wire_dependences call).
+            pending = 0
+            for reg in uop.srcs:
+                producer = rename.get(reg)
+                if producer is not None and producer.state < _COMPLETED:
+                    producer.consumers.append((instr, "op"))
+                    pending += 1
+            instr.pending_ops = pending
+            data_src = uop.data_src
+            if data_src is not None:
+                producer = rename.get(data_src)
+                if producer is not None and producer.state < _COMPLETED:
+                    producer.consumers.append((instr, "data"))
+                    instr.pending_data = 1
+            if dst is not None:
+                rename[dst] = instr
+            if pending == 0:
+                instr.state = _READY
+                heapq.heappush(ready, (instr.seq, instr))
             dispatched += 1
-
-    def _wire_dependences(self, instr: DynInstr) -> None:
-        uop = instr.uop
-        for reg in uop.srcs:
-            producer = self.rename.get(reg)
-            if producer is not None and producer.state.value < InstrState.COMPLETED.value:
-                producer.consumers.append((instr, "op"))
-                instr.pending_ops += 1
-        if uop.data_src is not None:
-            producer = self.rename.get(uop.data_src)
-            if producer is not None and producer.state.value < InstrState.COMPLETED.value:
-                producer.consumers.append((instr, "data"))
-                instr.pending_data += 1
+        if dispatched:
+            hot.rename_ops += dispatched
+            hot.rob_writes += dispatched
 
     # ==================================================================
     # Fetch
     # ==================================================================
     def _stage_fetch(self) -> None:
-        cfg = self.config
-        if self.fetch_blocked_branch is not None or self.cycle < self.fetch_resume_cycle:
-            self.counters.bump("fetch.stall_cycles")
-            return
+        # step() has already ruled out the stall cases (blocked branch,
+        # resume timer) and confirmed buffer room and trace supply.
+        cycle = self.cycle
+        uops = self._trace_ops
+        trace_len = self._trace_len
+        buf = self.fetch_buffer
+        hot = self.hot
+        memory = self.memory
+        predictor = self.predictor
+        tracer = self.tracer
+        l1i_latency = self._l1i_latency
+        fetch_cap = self._fetch_cap
+        width = self._width
+        fetch_idx = self.fetch_idx
+        seq = self.next_seq
+        last_line = self._last_fetch_line
         fetched = 0
-        while (
-            fetched < cfg.width
-            and len(self.fetch_buffer) < cfg.fetch_buffer
-            and self.fetch_idx < len(self.trace)
-        ):
-            uop = self.trace[self.fetch_idx]
-            line = uop.pc >> 6
-            if line != self._last_fetch_line:
-                self.counters.bump("icache.reads")
-                lat = self.memory.fetch(uop.pc)
-                self._last_fetch_line = line
-                if lat > cfg.l1i_latency:
-                    # I-cache miss: the line arrives later; retry then.
-                    self.fetch_resume_cycle = self.cycle + lat
-                    self.counters.bump("fetch.icache_miss")
-                    return
-            instr = DynInstr(uop, self.fetch_idx, self.next_seq, uses_fp_queue(uop.cls, uop.dst))
-            self.next_seq += 1
-            instr.fetch_cycle = self.cycle
-            if self.tracer is not None:
-                self.tracer.record("fetch", instr, self.cycle)
-            self.fetch_buffer.append(instr)
-            self.fetch_idx += 1
-            fetched += 1
-            self.counters.bump("fetch.instructions")
-            if uop.is_branch:
-                predicted_taken, snapshot = self.predictor.predict(uop.pc)
-                instr.pred_snapshot = snapshot
-                self.counters.bump("bpred.lookups")
-                mispredicted = predicted_taken != uop.taken
-                instr.mispredicted = mispredicted
-                if mispredicted:
-                    # Stall-on-mispredict: fetch halts until resolution.
-                    # Wrong-path loads issue during the shadow and corrupt
-                    # the YLA registers now; recovery repairs them when the
-                    # branch resolves (the paper's reset remedy).  Stores
-                    # resolving inside the shadow see the corrupted YLA.
-                    self.fetch_blocked_branch = instr
-                    for age, addr in self.wrongpath.loads_for_mispredict(instr.seq):
-                        self.scheme.on_wrongpath_load(age, addr)
-                    return
-                if predicted_taken and self.predictor.btb.lookup(uop.pc) is None:
-                    # Misfetch: direction right but no target until decode —
-                    # a short front-end bubble, not a full resolution stall.
-                    self.counters.bump("branch.misfetches")
-                    self.fetch_resume_cycle = self.cycle + 2
-                    return
-                if uop.taken:
-                    # Correctly predicted taken branch ends the fetch group.
-                    return
+        try:
+            while (
+                fetched < width
+                and len(buf) < fetch_cap
+                and fetch_idx < trace_len
+            ):
+                uop = uops[fetch_idx]
+                line = uop.pc >> 6
+                if line != last_line:
+                    hot.icache_reads += 1
+                    lat = memory.fetch(uop.pc)
+                    last_line = line
+                    if lat > l1i_latency:
+                        # I-cache miss: the line arrives later; retry then.
+                        self.fetch_resume_cycle = cycle + lat
+                        hot.fetch_icache_miss += 1
+                        return
+                instr = DynInstr(uop, fetch_idx, seq, uop.fp_side)
+                seq += 1
+                instr.fetch_cycle = cycle
+                if tracer is not None:
+                    tracer.record("fetch", instr, cycle)
+                buf.append(instr)
+                fetch_idx += 1
+                fetched += 1
+                if uop.is_branch:
+                    predicted_taken, snapshot = predictor.predict(uop.pc)
+                    instr.pred_snapshot = snapshot
+                    hot.bpred_lookups += 1
+                    mispredicted = predicted_taken != uop.taken
+                    instr.mispredicted = mispredicted
+                    if mispredicted:
+                        # Stall-on-mispredict: fetch halts until resolution.
+                        # Wrong-path loads issue during the shadow and corrupt
+                        # the YLA registers now; recovery repairs them when the
+                        # branch resolves (the paper's reset remedy).  Stores
+                        # resolving inside the shadow see the corrupted YLA.
+                        self.fetch_blocked_branch = instr
+                        for age, addr in self.wrongpath.loads_for_mispredict(instr.seq):
+                            self.scheme.on_wrongpath_load(age, addr)
+                        return
+                    if predicted_taken and predictor.btb.lookup(uop.pc) is None:
+                        # Misfetch: direction right but no target until decode —
+                        # a short front-end bubble, not a full resolution stall.
+                        hot.branch_misfetches += 1
+                        self.fetch_resume_cycle = cycle + 2
+                        return
+                    if uop.taken:
+                        # Correctly predicted taken branch ends the fetch group.
+                        return
+        finally:
+            # Localized cursors written back on every exit path.
+            self.fetch_idx = fetch_idx
+            self.next_seq = seq
+            self._last_fetch_line = last_line
+            if fetched:
+                hot.fetch_instructions += fetched
 
     # ==================================================================
     # Squash / replay
@@ -639,7 +947,7 @@ class Processor:
                 (self.regs_fp if victim.uop.dst >= 32 else self.regs_int).release()
             if victim.is_load and victim.issue_cycle >= 0:
                 squashed_loads.append(victim)
-            self.counters.bump("squash.instructions")
+            self.hot.squash_instructions += 1
         self.lq.squash_younger(boundary - 1)
         self.sq.squash_younger(boundary - 1)
         self.rename.clear()
@@ -654,7 +962,7 @@ class Processor:
         self._replay_streak[instr.trace_idx] = streak
         if streak >= self.config.replay_guard:
             self._force_nonspec.add(instr.trace_idx)
-            self.counters.bump("replay.guard_trips")
+            self.hot.replay_guard_trips += 1
 
     # ==================================================================
     # Coherence traffic injection
@@ -663,7 +971,7 @@ class Processor:
         line = self.invalidations.maybe_invalidate()
         if line is None:
             return
-        self.counters.bump("inv.injected")
+        self.hot.inv_injected += 1
         self.memory.invalidate(line)
         head = self.rob.head()
         oldest = head.seq if head is not None else self.next_seq
@@ -673,12 +981,14 @@ class Processor:
     # Results
     # ==================================================================
     def _build_result(self) -> SimulationResult:
+        self.hot.fold_into(self.counters)
         self.counters["cycles"] = self.cycle
         self.counters["checking.cycles_observed"] = self._checking_cycles
         self.counters["lq.searches_assoc"] = self.lq.searches
         self.counters["lq.searches_filtered"] = self.lq.searches_filtered
         self.counters["lq.inv_searches"] = self.lq.inv_searches
         self.counters["sq.searches_assoc"] = self.sq.searches
+        self.counters["sq.searches_filtered_age"] = self.sq.searches_filtered
         self.counters["bpred.mispredicts"] = self.predictor.mispredictions
         self.counters["wrongpath.loads"] = self.wrongpath.injected
         if self.storesets is not None:

@@ -44,11 +44,20 @@ class SimulationResult:
     window_loads: Histogram = field(default_factory=Histogram)
     window_safe_loads: Histogram = field(default_factory=Histogram)
     window_unsafe_stores: Histogram = field(default_factory=Histogram)
+    #: Wall-clock seconds spent inside ``Processor.run`` for this result.
+    #: Host-dependent, so excluded from equality and from :meth:`to_dict`
+    #: (architectural results stay bit-comparable across machines).
+    sim_seconds: float = field(default=0.0, compare=False)
 
     # -- headline rates ---------------------------------------------------
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulator throughput: committed instructions per wall-clock second."""
+        return self.committed / self.sim_seconds if self.sim_seconds > 0 else 0.0
 
     def per_minstr(self, counter: str) -> float:
         """Events per one million committed instructions."""

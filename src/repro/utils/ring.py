@@ -3,6 +3,12 @@
 Models age-ordered hardware queues (ROB, LQ, SQ, fetch buffer): allocation
 at the tail, retirement at the head, and squash-from-the-tail on recovery.
 Entries are arbitrary Python objects; age order is the insertion order.
+
+The backing list is exposed as ``items`` so hot-path searches can iterate
+or length-check it without a method call; treat it as read-only — all
+mutation goes through :meth:`push` / :meth:`pop` / :meth:`squash_younger`.
+The list object is stable for the buffer's lifetime (never rebound), so
+callers may safely cache a reference to it.
 """
 
 from typing import Iterator, List, Optional
@@ -15,45 +21,53 @@ class RingBuffer:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._items: List = []
+        self.items: List = []
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self.items)
 
     def __iter__(self) -> Iterator:
         """Iterate oldest to youngest."""
-        return iter(self._items)
+        return iter(self.items)
+
+    def __reversed__(self) -> Iterator:
+        """Iterate youngest to oldest without copying the storage.
+
+        Hot-path searches (SQ forwarding) want youngest-first age order;
+        this avoids the ``reversed(list(ring))`` allocation per search.
+        """
+        return reversed(self.items)
 
     def __getitem__(self, idx):
-        return self._items[idx]
+        return self.items[idx]
 
     @property
     def full(self) -> bool:
-        return len(self._items) >= self.capacity
+        return len(self.items) >= self.capacity
 
     @property
     def free(self) -> int:
-        return self.capacity - len(self._items)
+        return self.capacity - len(self.items)
 
     def head(self) -> Optional[object]:
         """Oldest entry, or None when empty."""
-        return self._items[0] if self._items else None
+        return self.items[0] if self.items else None
 
     def tail(self) -> Optional[object]:
         """Youngest entry, or None when empty."""
-        return self._items[-1] if self._items else None
+        return self.items[-1] if self.items else None
 
     def push(self, item) -> None:
         """Allocate ``item`` at the tail; raises when full."""
-        if self.full:
+        if len(self.items) >= self.capacity:
             raise OverflowError("ring buffer full")
-        self._items.append(item)
+        self.items.append(item)
 
     def pop(self):
         """Retire and return the oldest entry; raises when empty."""
-        if not self._items:
+        if not self.items:
             raise IndexError("ring buffer empty")
-        return self._items.pop(0)
+        return self.items.pop(0)
 
     def squash_younger(self, keep) -> List:
         """Drop entries from the tail while ``keep(entry)`` is False.
@@ -62,10 +76,11 @@ class RingBuffer:
         queue entries younger than the recovery point are discarded.
         """
         squashed = []
-        while self._items and not keep(self._items[-1]):
-            squashed.append(self._items.pop())
+        items = self.items
+        while items and not keep(items[-1]):
+            squashed.append(items.pop())
         squashed.reverse()
         return squashed
 
     def clear(self) -> None:
-        self._items.clear()
+        self.items.clear()

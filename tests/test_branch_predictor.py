@@ -123,5 +123,6 @@ class TestCombined:
         pred, snap = p.predict(0x40)
         actual = not pred
         p.resolve(0x40, actual, snap)
-        expected = ((snap["history"] << 1) | int(actual)) & 0xFF
+        history_at_predict = snap[0]
+        expected = ((history_at_predict << 1) | int(actual)) & 0xFF
         assert p.gshare.history == expected

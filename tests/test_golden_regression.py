@@ -72,3 +72,44 @@ class TestHeadlineBands:
                              max_instructions=3000)
         big = run_workload(CONFIG2, get_workload("gzip"), max_instructions=3000)
         assert small.ipc < big.ipc * 1.05
+
+
+class TestVariantGoldens:
+    """Pinned behaviour for the DMDC variants the paper evaluates."""
+
+    @pytest.fixture(scope="class")
+    def gzip_dmdc_local(self):
+        cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc", local=True))
+        return run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+
+    @pytest.fixture(scope="class")
+    def gzip_dmdc_queue(self):
+        cfg = CONFIG2.with_scheme(
+            SchemeConfig(kind="dmdc", checking_queue_entries=8))
+        return run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+
+    def test_local_windows_repeatable_and_complete(self, gzip_dmdc_local):
+        cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc", local=True))
+        again = run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+        assert gzip_dmdc_local.committed == 6000
+        assert again.cycles == gzip_dmdc_local.cycles
+        assert again.counters.as_dict() == gzip_dmdc_local.counters.as_dict()
+
+    def test_local_windows_not_longer_than_global(self, gzip_dmdc_local, gzip_dmdc):
+        # Section 4.4: local windows end no later than global ones, so the
+        # scheme spends at most as much time in checking mode.
+        assert (gzip_dmdc_local.counters["checking.cycles_observed"]
+                <= gzip_dmdc.counters["checking.cycles_observed"])
+
+    def test_checking_queue_repeatable_and_complete(self, gzip_dmdc_queue):
+        cfg = CONFIG2.with_scheme(
+            SchemeConfig(kind="dmdc", checking_queue_entries=8))
+        again = run_workload(cfg, get_workload("gzip"), max_instructions=6000, seed=1)
+        assert gzip_dmdc_queue.committed == 6000
+        assert again.cycles == gzip_dmdc_queue.cycles
+        assert again.counters.as_dict() == gzip_dmdc_queue.counters.as_dict()
+
+    def test_checking_queue_ipc_band(self, gzip_dmdc_queue, gzip_base):
+        # An 8-entry checking queue may overflow (extra replays) but must
+        # stay within a loose band of the unconstrained baseline.
+        assert abs(gzip_dmdc_queue.cycles / gzip_base.cycles - 1) < 0.10

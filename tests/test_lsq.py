@@ -112,6 +112,22 @@ class TestStoreQueueBookkeeping:
         sq.squash_younger(1)
         assert len(sq) == 1 and sq.oldest_seq() == 1
 
+    def test_find_by_seq_tracks_allocate_retire_squash(self):
+        sq = StoreQueue(8)
+        stores = {seq: mk_store(seq, seq * 8) for seq in (1, 2, 3)}
+        for store in stores.values():
+            sq.allocate(store)
+        assert sq.find(2) is stores[2]
+        sq.retire_head(stores[1])
+        assert sq.find(1) is None
+        sq.squash_younger(2)
+        assert sq.find(3) is None and sq.find(2) is stores[2]
+
+    def test_note_filtered_search(self):
+        sq = StoreQueue(8)
+        sq.note_filtered_search()
+        assert sq.searches == 0 and sq.searches_filtered == 1
+
 
 class TestLoadQueueSearch:
     def test_finds_oldest_younger_issued_overlap(self):
@@ -138,11 +154,11 @@ class TestLoadQueueSearch:
         victim = lq.search_younger_issued(mk_store(2, 0x100, size=8))
         assert victim is not None
 
-    def test_issued_loads_listing(self):
+    def test_ring_iteration_is_age_ordered(self):
         lq = LoadQueue(8)
         lq.allocate(mk_load(1, 0, issued=True))
         lq.allocate(mk_load(2, 8, issued=False))
-        assert [l.seq for l in lq.issued_loads()] == [1]
+        assert [l.seq for l in lq.ring] == [1, 2]
 
     def test_search_counters(self):
         lq = LoadQueue(8)

@@ -49,7 +49,7 @@ class TestCheckerCatchesCorruption:
     def test_detects_age_disorder(self):
         proc = self._warm_proc()
         if len(proc.rob) >= 2:
-            proc.rob._items[0], proc.rob._items[1] = proc.rob._items[1], proc.rob._items[0]
+            proc.rob.items[0], proc.rob.items[1] = proc.rob.items[1], proc.rob.items[0]
             with pytest.raises(SimulationError, match="age-ordered"):
                 check_invariants(proc)
 
