@@ -1,0 +1,43 @@
+"""Correctness tooling and post-run analysis.
+
+Two sub-systems live here (see ``docs/correctness.md``):
+
+* :mod:`repro.analysis.lint` — an AST-based lint pass with a repo-specific
+  rule catalogue (determinism, hot-path discipline, frozen-result and
+  scheme-protocol rules), exposed as ``repro check --static``;
+* :mod:`repro.analysis.sanitizer` — a shadow associative oracle LQ/SQ that
+  runs alongside any dependence-checking scheme and cross-checks every
+  filter/replay decision against ground truth, plus invariant probes
+  (:mod:`repro.analysis.probes`), exposed as ``repro check --sanitize``.
+
+The result-comparison helpers that predate the tooling subsystem live in
+:mod:`repro.analysis.results` and are re-exported here unchanged.
+"""
+
+from repro.analysis.results import (
+    Comparison,
+    compare_results,
+    counter_diff,
+    outliers,
+    per_workload_table,
+    speedup_summary,
+)
+from repro.analysis.sanitizer import (
+    SCHEME_MATRIX,
+    MemoryOrderSanitizer,
+    SanitizerReport,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "Comparison",
+    "compare_results",
+    "counter_diff",
+    "outliers",
+    "per_workload_table",
+    "speedup_summary",
+    "MemoryOrderSanitizer",
+    "SanitizerReport",
+    "attach_sanitizer",
+    "SCHEME_MATRIX",
+]

@@ -1,0 +1,26 @@
+"""Repo-specific AST lint pass (``repro check --static``).
+
+The rule catalogue (:mod:`repro.analysis.lint.rules`) encodes the coding
+disciplines the simulator's correctness and performance story depend on —
+determinism inside ``sim/``/``lsq/``/``core/``, hot-path allocation and
+counter discipline, frozen-result immutability, and scheme-protocol
+conformance.  The engine (:mod:`repro.analysis.lint.engine`) walks files,
+runs every rule, and honours ``# repro: noqa[RULE]`` suppressions.
+"""
+
+from repro.analysis.lint.engine import (
+    LintViolation,
+    format_violations,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.lint.rules import RULES, rule_catalogue
+
+__all__ = [
+    "LintViolation",
+    "RULES",
+    "format_violations",
+    "lint_paths",
+    "lint_source",
+    "rule_catalogue",
+]

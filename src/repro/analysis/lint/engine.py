@@ -1,0 +1,123 @@
+"""Lint engine: file walking, suppression parsing, rule dispatch.
+
+Linting is two-phase so rules can use whole-project facts (e.g. the set of
+frozen result classes) when judging a single file:
+
+1. every file is parsed into a :class:`SourceFile`; each rule's ``scan``
+   hook observes all of them and accumulates project-wide context;
+2. each rule's ``check`` hook yields :class:`LintViolation` findings per
+   file, which the engine filters through ``# repro: noqa`` suppressions.
+
+Suppression syntax, on the offending line::
+
+    something_flagged()  # repro: noqa[REPRO001]
+    something_flagged()  # repro: noqa[REPRO001,REPRO005]
+    something_flagged()  # repro: noqa
+
+The bare form suppresses every rule on that line; prefer the targeted
+form so unrelated regressions on the same line still surface.
+"""
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+
+#: ``# repro: noqa`` / ``# repro: noqa[REPRO001,REPRO002]``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+class LintViolation(NamedTuple):
+    """One finding: where, which rule, and what went wrong."""
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+class SourceFile:
+    """A parsed source file plus its suppression map."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        #: line -> suppressed rule ids (``None`` means "all rules").
+        self.noqa: Dict[int, Optional[FrozenSet[str]]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if match:
+                ids = match.group(1)
+                self.noqa[lineno] = (
+                    frozenset(p.strip() for p in ids.split(",") if p.strip())
+                    if ids else None
+                )
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        if line not in self.noqa:
+            return False
+        ids = self.noqa[line]
+        return ids is None or rule_id in ids
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                out.extend(os.path.join(root, f) for f in sorted(files)
+                           if f.endswith(".py"))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def _run(files: List[SourceFile], rules) -> List[LintViolation]:
+    from repro.analysis.lint.rules import RULES
+    active = list(RULES if rules is None else rules)
+    for rule in active:
+        context = {}
+        for file in files:
+            rule.scan(file, context)
+        rule.context = context
+    violations: List[LintViolation] = []
+    for file in files:
+        for rule in active:
+            for violation in rule.check(file, rule.context):
+                if not file.suppressed(violation.line, violation.rule_id):
+                    violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return violations
+
+
+def lint_paths(paths: Iterable[str], rules=None) -> List[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    files = []
+    for path in _iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            files.append(SourceFile(path, fh.read()))
+    return _run(files, rules)
+
+
+def lint_source(source: str, path: str = "src/repro/sim/snippet.py",
+                rules=None) -> List[LintViolation]:
+    """Lint one in-memory snippet as if it lived at ``path``.
+
+    The path decides which rules apply (deterministic zone, hot-function
+    catalogue, scheme modules), so tests can aim a snippet at any rule.
+    """
+    return _run([SourceFile(path, source)], rules)
+
+
+def format_violations(violations: List[LintViolation]) -> str:
+    if not violations:
+        return "repro check --static: clean"
+    lines = [v.format() for v in violations]
+    lines.append(f"{len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -22,6 +22,11 @@ Commands:
 ``bench``
     Measure simulator throughput (committed instructions per second) for
     every scheme over a fixed workload mix; write ``BENCH_simulator.json``.
+``check``
+    Correctness tooling (see ``docs/correctness.md``): ``--static`` runs
+    the repo-specific AST lint pass, ``--sanitize`` runs the shadow-oracle
+    memory-ordering sanitizer over scheme/workload sweeps; with neither
+    flag, both halves run.
 """
 
 import argparse
@@ -287,6 +292,73 @@ def cmd_bench(args) -> int:
     return 0
 
 
+#: Schemes that filter associative LQ searches by age: a sanitized run of
+#: one of these must show *some* filtering activity, or the sweep proved
+#: nothing about the mechanism under test.
+_FILTERING_SCHEMES = frozenset(
+    {"yla", "bloom", "dmdc", "dmdc-local", "dmdc-queue8"})
+
+
+def cmd_check(args) -> int:
+    from repro.analysis.lint import format_violations, lint_paths, rule_catalogue
+    from repro.analysis.sanitizer import SCHEME_MATRIX, run_sanitized
+
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+
+    do_static = args.static or not args.sanitize
+    do_sanitize = args.sanitize or not args.static
+    payload = {}
+    failed = False
+
+    if do_static:
+        violations = lint_paths(args.paths or ["src"])
+        if not args.json:
+            print(format_violations(violations))
+        payload["static"] = [v._asdict() for v in violations]
+        failed = failed or bool(violations)
+
+    if do_sanitize:
+        schemes = args.scheme or sorted(SCHEME_MATRIX)
+        unknown = [s for s in schemes if s not in SCHEME_MATRIX]
+        if unknown:
+            print(f"unknown scheme(s) {', '.join(unknown)}; choose from "
+                  f"{', '.join(sorted(SCHEME_MATRIX))}", file=sys.stderr)
+            return 2
+        workloads = args.workload or ["gzip", "mcf"]
+        reports = []
+        for workload_name in workloads:
+            trace = get_workload(workload_name).generate(
+                args.instructions + 2_000)
+            for label in schemes:
+                config = CONFIGS[args.config].with_scheme(SCHEME_MATRIX[label])
+                result, report = run_sanitized(
+                    config, trace, max_instructions=args.instructions,
+                    seed=args.seed, strict=args.strict)
+                filtered = (result.counters["lq.searches_filtered"]
+                            + result.counters["stores.safe"])
+                inactive = label in _FILTERING_SCHEMES and filtered == 0
+                ok = report.clean and not inactive
+                failed = failed or not ok
+                entry = report.as_dict()
+                entry.update(workload=workload_name, label=label,
+                             filtered_searches=int(filtered), ok=ok)
+                reports.append(entry)
+                if not args.json:
+                    note = " [NO FILTERING ACTIVITY]" if inactive else ""
+                    print(f"{workload_name:>8s}/{label:<12s} "
+                          f"{report.format()}{note}")
+        payload["sanitize"] = reports
+
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif not failed:
+        print("repro check: OK")
+    return 1 if failed else 0
+
+
 def cmd_timeline(args) -> int:
     config = _configured(args)
     trace = get_workload(args.workload).generate(args.instructions + 2000)
@@ -352,6 +424,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=32)
     p.add_argument("--width", type=int, default=100)
 
+    p = sub.add_parser(
+        "check", help="lint pass + shadow-oracle sanitizer")
+    p.add_argument("--static", action="store_true",
+                   help="run only the AST lint pass")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run only the shadow-oracle sanitizer sweep")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the lint rule catalogue and exit")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--scheme", action="append", metavar="LABEL",
+                   help="sanitize only LABEL (repeatable; default: the "
+                        "full nine-scheme matrix)")
+    p.add_argument("--workload", action="append", metavar="NAME",
+                   help="sanitize on NAME (repeatable; default: gzip, mcf)")
+    # Default budget chosen so the sweep actually crosses a true ordering
+    # violation (mcf's first premature load lands before 6k instructions);
+    # a sweep that never sees a violation proves soundness vacuously.
+    p.add_argument("--instructions", "-n", type=int, default=6_000)
+    p.add_argument("--config", default="config2", choices=sorted(CONFIGS))
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--strict", action="store_true",
+                   help="raise on the first sanitizer defect")
+    p.add_argument("--json", action="store_true")
+
     p = sub.add_parser("bench", help="measure simulator throughput")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: fewer workloads/schemes, small budget")
@@ -377,6 +474,7 @@ _COMMANDS = {
     "report": cmd_report,
     "timeline": cmd_timeline,
     "bench": cmd_bench,
+    "check": cmd_check,
 }
 
 

@@ -30,6 +30,23 @@ from typing import List, Optional
 from repro.backend.dyninst import DynInstr
 from repro.stats.counters import CounterSet, Histogram
 
+#: The scheme protocol, by name -> number of arguments after ``self``.
+#: This is the single source of truth the ``repro check`` lint pass
+#: (rule REPRO007) validates scheme classes against: a subclass defining a
+#: hook-shaped method that is *not* listed here (e.g. ``on_comit``) would
+#: silently never be called by the pipeline.
+PROTOCOL_HOOKS = {
+    "on_load_issue": 2,
+    "on_wrongpath_load": 2,
+    "on_store_resolve": 2,
+    "on_commit": 2,
+    "on_recovery": 1,
+    "on_squash": 2,
+    "on_invalidation": 4,
+    "finalize": 1,
+    "collect": 0,
+}
+
 
 class CommitDecision(enum.Enum):
     """What ``on_commit`` wants the pipeline to do with a committing load."""

@@ -160,6 +160,15 @@ class DmdcScheme(CheckScheme):
             return self._active_end
         return max(self._global_end, self._active_end)
 
+    def end_check(self) -> int:
+        """The live checking boundary (the ``end_check`` register contents).
+
+        Public accessor for observability tooling: the sanitizer's window
+        probe asserts the boundary never moves backwards while a window is
+        open and that windows only terminate once commit passes it.
+        """
+        return self._current_end()
+
     def _activate(self, cycle: int) -> None:
         if not self._active:
             self._active = True

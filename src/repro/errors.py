@@ -28,3 +28,13 @@ class OrderingViolationMissed(SimulationError):
     lets a premature load commit without a replay.  Any scheme that raises
     this is unsound.
     """
+
+
+class SanitizerError(SimulationError):
+    """The shadow-oracle sanitizer found a defect in strict mode.
+
+    Carries the offending :class:`repro.analysis.sanitizer.SanitizerReport`
+    finding in its message; raised at the moment of detection (a missed
+    violation or a failed invariant probe), independently of the built-in
+    ground-truth checker.
+    """

@@ -41,7 +41,7 @@ def default_cache() -> Optional["ResultCache"]:
 class ResultCache:
     """Content-addressed store of serialized :class:`SimulationResult`s."""
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
     def path_for(self, key: str) -> Path:

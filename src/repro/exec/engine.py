@@ -14,7 +14,7 @@ import time
 from contextlib import contextmanager
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, SimulationError
 from repro.exec.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV, ResultCache, default_cache
@@ -94,7 +94,7 @@ class ExecutionEngine:
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  max_workers: Optional[int] = None,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None) -> None:
         self.cache = cache
         self.max_workers = max_workers if max_workers is not None else worker_count()
         self.progress = progress
@@ -116,7 +116,7 @@ class ExecutionEngine:
     def __enter__(self) -> "ExecutionEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- execution -------------------------------------------------------
@@ -157,7 +157,9 @@ class ExecutionEngine:
         self.stats.wall_seconds += time.perf_counter() - start
         return [results[key] for key in keys]
 
-    def _lookup(self, key: str, request: RunRequest):
+    def _lookup(
+        self, key: str, request: RunRequest
+    ) -> Tuple[Optional[SimulationResult], Optional[str]]:
         if key in self._memo:
             self.stats.memo_hits += 1
             return self._memo[key], "memo"
@@ -169,7 +171,9 @@ class ExecutionEngine:
                 return result, "cache"
         return None, None
 
-    def _run_pending(self, pending: List[Tuple[str, RunRequest]]):
+    def _run_pending(
+        self, pending: List[Tuple[str, RunRequest]]
+    ) -> Iterator[Tuple[str, RunRequest, SimulationResult]]:
         if not pending:
             return
         if self.max_workers <= 1 or len(pending) == 1:
@@ -249,7 +253,7 @@ def set_engine(engine: Optional[ExecutionEngine]) -> None:
 
 
 @contextmanager
-def use_engine(engine: ExecutionEngine):
+def use_engine(engine: ExecutionEngine) -> Iterator[None]:
     """Temporarily make ``engine`` the process-wide default.
 
     Unlike :func:`set_engine`, the previous default is restored (and not

@@ -66,7 +66,7 @@ class MicroOp:
         data_src: Optional[int] = None,
         taken: bool = False,
         target: int = 0,
-    ):
+    ) -> None:
         self.pc = pc
         self.cls = cls
         self.srcs = srcs

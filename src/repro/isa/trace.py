@@ -1,6 +1,6 @@
 """Trace container: the dynamic instruction stream of one workload."""
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Iterator, List, Optional
 
 from repro.errors import TraceError
 from repro.isa.instruction import MicroOp
@@ -15,7 +15,8 @@ class Trace:
     recovery without any bookkeeping of its own.
     """
 
-    def __init__(self, name: str, ops: Optional[List[MicroOp]] = None, group: str = "INT"):
+    def __init__(self, name: str, ops: Optional[List[MicroOp]] = None,
+                 group: str = "INT") -> None:
         self.name = name
         self.group = group  # "INT" or "FP", the paper's reporting groups
         self.ops: List[MicroOp] = ops if ops is not None else []
@@ -26,7 +27,7 @@ class Trace:
     def __getitem__(self, idx: int) -> MicroOp:
         return self.ops[idx]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MicroOp]:
         return iter(self.ops)
 
     def append(self, op: MicroOp) -> None:

@@ -18,7 +18,13 @@ point of the paper.
 
 Both search methods are on the simulator's hottest path, so they iterate
 the ring storage in place (no per-search list copies) and exit as soon as
-the outcome can no longer change.
+the outcome can no longer change.  That discipline is machine-enforced:
+``repro check --static`` registers both methods in its hot-function
+catalogue (rules REPRO004/REPRO005 — no string-keyed counter bumps, no
+growable allocations), and the shadow-oracle sanitizer
+(:mod:`repro.analysis.sanitizer`) cross-checks every filter/replay
+decision built on these searches against an independent associative
+oracle; see ``docs/correctness.md``.
 """
 
 import enum

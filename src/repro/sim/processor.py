@@ -193,6 +193,20 @@ class Processor:
         self._fu_latency_by_cls = self.fus.latency_by_cls
         #: Optional PipelineTracer; when set, every pipeline event is recorded.
         self.tracer = None
+        #: Attached observers (sanitizers, probes).  Any entry — like a
+        #: tracer — disables the event-horizon cycle skipper: hooks observe
+        #: per-event state and must never run under skipped cycles
+        #: (regression-pinned by ``tests/test_hooks_fastpath.py``).
+        self._hooks: List[object] = []
+
+    def attach_hook(self, hook: object) -> None:
+        """Register an observer for this run (see ``docs/correctness.md``).
+
+        The only seam for attaching sanitizers/probes: registration is what
+        turns the cycle skipper off, so a hook attached any other way would
+        silently miss skipped cycles.
+        """
+        self._hooks.append(hook)
 
     # ==================================================================
     # Public driver
@@ -231,7 +245,9 @@ class Processor:
         target = min(max_instructions, len(self.trace))
         self._commit_target = target
         self._cycle_limit = max_cycles
-        t0 = time.perf_counter()
+        # Wall-clock is measurement-only (sim_seconds for the perf harness);
+        # it never feeds back into simulated state.
+        t0 = time.perf_counter()  # repro: noqa[REPRO001]
         while self.committed < target:
             self.step()
             if self.cycle > max_cycles:
@@ -239,7 +255,7 @@ class Processor:
                     f"no forward progress: {self.committed}/{target} committed "
                     f"after {self.cycle} cycles on {self.trace.name}"
                 )
-        sim_seconds = time.perf_counter() - t0
+        sim_seconds = time.perf_counter() - t0  # repro: noqa[REPRO001]
         self.scheme.finalize(self.cycle)
         result = self._build_result()
         result.sim_seconds = sim_seconds
@@ -254,7 +270,7 @@ class Processor:
         which any stage can act.  Cycle numbering, counters and RNG streams
         are exactly as if every skipped cycle had been stepped.
         """
-        if self._fastpath and self.tracer is None:
+        if self._fastpath and self.tracer is None and not self._hooks:
             self._maybe_fast_forward()
         self._squashed_this_cycle = False
         if self.scheme.checking_active:
@@ -548,7 +564,10 @@ class Processor:
         width = self._width
         ports_left = self._ports
         issued = 0
-        deferred: List[DynInstr] = []
+        # One small list per non-idle issue cycle; accepted (the heap pops
+        # below need somewhere allocation-order-independent to park
+        # bandwidth-deferred entries).
+        deferred: List[DynInstr] = []  # repro: noqa[REPRO005]
         while ready and issued < width:
             _, instr = heapq.heappop(ready)
             if instr.state is not _READY:

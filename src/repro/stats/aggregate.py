@@ -6,7 +6,7 @@ The paper reports most results as per-group averages with min/max ranges
 """
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping
 
 
 @dataclass
@@ -47,7 +47,7 @@ def summarize(values: Mapping[str, float], groups: Mapping[str, str]) -> Dict[st
     return out
 
 
-def geometric_mean(values) -> float:
+def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (used for speedup aggregation)."""
     vals = list(values)
     if not vals:

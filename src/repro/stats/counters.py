@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Tuple
 class CounterSet:
     """A bag of named integer counters with dictionary-like access."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -41,7 +41,7 @@ class CounterSet:
         for name, value in other._counts.items():
             self._counts[name] += value
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, CounterSet):
             return NotImplemented
         # Zero-valued entries are indistinguishable from absent ones.
@@ -131,7 +131,7 @@ class HotCounters:
 
     __slots__ = tuple(name.replace(".", "_") for name in HOT_COUNTERS)
 
-    def __init__(self):
+    def __init__(self) -> None:
         for slot in self.__slots__:
             setattr(self, slot, 0)
 
@@ -155,7 +155,7 @@ class HotCounters:
 class RunningMean:
     """Streaming mean/min/max without storing samples."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = None
@@ -177,7 +177,7 @@ class RunningMean:
 class Histogram:
     """Sparse integer-valued histogram with summary statistics."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._bins: Dict[int, int] = defaultdict(int)
         self.count = 0
         self.total = 0
@@ -206,7 +206,7 @@ class Histogram:
     def items(self) -> Iterable[Tuple[int, int]]:
         return sorted(self._bins.items())
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Histogram):
             return NotImplemented
         return (dict(self._bins), self.count, self.total) == (

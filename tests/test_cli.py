@@ -82,3 +82,39 @@ class TestTraceCommands:
         monkeypatch.setenv("REPRO_PARALLEL", "0")
         assert main(["experiment", "sq_filter", "--budget", "1000"]) == 0
         assert "SQ" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_static_clean_on_repo(self, capsys):
+        assert main(["check", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "OK" in out
+
+    def test_static_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        assert main(["check", "--static", str(bad)]) == 1
+        assert "REPRO002" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO001" in out and "REPRO007" in out
+
+    def test_sanitize_smoke(self, capsys):
+        assert main(["check", "--sanitize", "--scheme", "dmdc",
+                     "--workload", "gzip", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "CLEAN" in out and "OK" in out
+
+    def test_sanitize_json(self, capsys):
+        assert main(["check", "--sanitize", "--scheme", "yla",
+                     "--workload", "gzip", "-n", "1500", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload["sanitize"][0]
+        assert entry["ok"] and entry["missed_violations"] == 0
+        assert entry["filtered_searches"] > 0
+
+    def test_sanitize_unknown_scheme(self, capsys):
+        assert main(["check", "--sanitize", "--scheme", "magic"]) == 2

@@ -5,29 +5,21 @@ behaviourally invisible: for every scheme and workload, a run with the fast
 path enabled must produce a `to_dict()` payload bit-identical to a run with
 ``REPRO_NO_FASTPATH=1`` — same cycles, same counters, same histograms.
 These tests pin that invariant for every scheme family the simulator
-implements, on two workloads with different memory behaviour.
+implements, on two workloads with different memory behaviour.  The scheme
+matrix is shared with the sanitizer sweep
+(:data:`repro.analysis.sanitizer.SCHEME_MATRIX`) so both correctness
+suites always cover the same nine points.
 """
 
 import pytest
 
+from repro.analysis.sanitizer import SCHEME_MATRIX as SCHEMES
 from repro.sim.config import CONFIG2, SchemeConfig
 from repro.sim.processor import NO_FASTPATH_ENV
 from repro.sim.runner import run_trace
 from repro.workloads import get_workload
 
 BUDGET = 2_500
-
-SCHEMES = {
-    "conventional": SchemeConfig(kind="conventional"),
-    "storesets": SchemeConfig(kind="conventional", store_sets=True),
-    "yla": SchemeConfig(kind="yla"),
-    "bloom": SchemeConfig(kind="bloom"),
-    "dmdc": SchemeConfig(kind="dmdc"),
-    "dmdc-local": SchemeConfig(kind="dmdc", local=True),
-    "dmdc-queue8": SchemeConfig(kind="dmdc", checking_queue_entries=8),
-    "garg": SchemeConfig(kind="garg"),
-    "value": SchemeConfig(kind="value"),
-}
 
 WORKLOADS = ("gzip", "mcf")
 

@@ -1,0 +1,75 @@
+"""Attaching any observer must disable the event-horizon cycle skipper.
+
+The skipper jumps over externally-invisible idle cycles; a tracer already
+disables it (cycle-granular observation), and the same rule must hold for
+every hook on the generic ``attach_hook`` seam — a sanitizer or probe that
+missed skipped cycles would silently under-check.
+"""
+
+from repro.analysis.sanitizer import attach_sanitizer
+from repro.sim.config import CONFIG2, SchemeConfig
+from repro.sim.pipetrace import PipelineTracer
+from repro.sim.processor import Processor
+from repro.workloads import get_workload
+
+BUDGET = 2_500
+
+
+def _processor():
+    config = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
+    trace = get_workload("mcf").generate(BUDGET + 2_000)
+    return Processor(config, trace, seed=1)
+
+
+def _run(proc):
+    proc.prewarm()
+    result = proc.run(BUDGET)
+    return proc, result
+
+
+def test_baseline_run_actually_skips(monkeypatch):
+    """Guard: without observers this workload does fast-forward, so the
+    tests below are not vacuous."""
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc, _ = _run(_processor())
+    assert proc.fast_forwarded_cycles > 0
+
+
+def test_tracer_disables_skipping(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc = _processor()
+    proc.tracer = PipelineTracer(capacity=64)
+    proc, _ = _run(proc)
+    assert proc.fast_forwarded_cycles == 0
+
+
+def test_attach_hook_disables_skipping(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc = _processor()
+    proc.attach_hook(object())
+    proc, _ = _run(proc)
+    assert proc.fast_forwarded_cycles == 0
+
+
+def test_sanitizer_disables_skipping(monkeypatch):
+    """Regression: the sanitizer rides the hook seam, so attaching it must
+    disable the skipper exactly like a tracer."""
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc = _processor()
+    attach_sanitizer(proc)
+    proc, _ = _run(proc)
+    assert proc.fast_forwarded_cycles == 0
+
+
+def test_sanitized_result_matches_fastpath_result(monkeypatch):
+    """Even though the sanitizer forces plain stepping, the simulated
+    outcome equals the fast-forwarded run (fastpath equivalence composed
+    with sanitizer bit-invisibility)."""
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    fast_proc, fast_result = _run(_processor())
+    sanitized_proc = _processor()
+    attach_sanitizer(sanitized_proc)
+    sanitized_proc, sanitized_result = _run(sanitized_proc)
+    assert fast_proc.fast_forwarded_cycles > 0
+    assert sanitized_proc.fast_forwarded_cycles == 0
+    assert fast_result.to_dict() == sanitized_result.to_dict()
