@@ -10,11 +10,7 @@ This is the smallest program that exercises the entire machinery the
 paper is about.
 """
 
-from repro.isa.instruction import MicroOp
-from repro.isa.opcodes import InstrClass
-from repro.isa.trace import Trace
-from repro.sim.config import SchemeConfig, small_config
-from repro.sim.processor import Processor
+from repro.api import InstrClass, MicroOp, Processor, SchemeConfig, Trace, small_config
 
 
 def build_scenario() -> Trace:

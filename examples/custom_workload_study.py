@@ -3,28 +3,29 @@
 
 Shows the full user-facing loop: define a :class:`WorkloadSpec`, sweep a
 parameter (here: how often store addresses depend on loads — "pointer
-intensity"), run several schemes, and use :mod:`repro.analysis` to
-compare them.  The output demonstrates the paper's central sensitivity:
-the later store addresses resolve, the more the conventional LQ gets
-searched — and the more DMDC's filtering matters.
+intensity"), run several schemes through :mod:`repro.api`, and use the
+analysis helpers to compare them.  The output demonstrates the paper's
+central sensitivity: the later store addresses resolve, the more the
+conventional LQ gets searched — and the more DMDC's filtering matters.
 """
 
 import sys
 
-from repro import CONFIG2, SchemeConfig
-from repro.analysis import compare_results, per_workload_table, speedup_summary
-from repro.sim.runner import run_workload
-from repro.stats.report import format_table
-from repro.workloads import SyntheticWorkload, WorkloadSpec
+from repro.api import (
+    WorkloadSpec,
+    compare_results,
+    format_table,
+    per_workload_table,
+    speedup_summary,
+    sweep,
+)
 
 
 def sweep_pointer_intensity(budget: int):
     """One workload per pointer-intensity level, run under two schemes."""
     levels = (0.0, 0.05, 0.15, 0.30)
-    base_results, dmdc_results = {}, {}
-    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
-    for level in levels:
-        spec = WorkloadSpec(
+    workloads = [
+        WorkloadSpec(
             name=f"ptr-{int(100 * level):02d}",
             group="INT",
             store_addr_dep_load=level,
@@ -32,12 +33,11 @@ def sweep_pointer_intensity(budget: int):
                              "chase": 0.3},
             seed=101,
         )
-        workload = SyntheticWorkload(spec)
-        base_results[spec.name] = run_workload(CONFIG2, workload,
-                                               max_instructions=budget)
-        dmdc_results[spec.name] = run_workload(dmdc_cfg, workload,
-                                               max_instructions=budget)
-    return base_results, dmdc_results
+        for level in levels
+    ]
+    grid = sweep(workloads, schemes=("conventional", "dmdc"),
+                 instructions=budget)
+    return grid["conventional"], grid["dmdc"]
 
 
 def main() -> None:

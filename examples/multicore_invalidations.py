@@ -11,22 +11,18 @@ the paper found.
 
 import sys
 
-from repro import CONFIG2, SchemeConfig, get_workload
-from repro.sim.runner import run_workload
-from repro.stats.report import format_table
+from repro.api import format_table, run
 
 
 def main() -> None:
     budget = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
-    workload_name = sys.argv[2] if len(sys.argv) > 2 else "gzip"
-    workload = get_workload(workload_name)
-    coherent = SchemeConfig(kind="dmdc", coherence=True)
+    workload = sys.argv[2] if len(sys.argv) > 2 else "gzip"
 
-    baseline = run_workload(CONFIG2, workload, max_instructions=budget)
+    baseline = run(workload, instructions=budget)
     rows = []
     for rate in (0.0, 1.0, 10.0, 100.0):
-        cfg = CONFIG2.with_scheme(coherent).with_overrides(invalidation_rate=rate)
-        r = run_workload(cfg, workload, max_instructions=budget)
+        r = run(workload, scheme="dmdc-coherent", instructions=budget,
+                overrides={"invalidation_rate": rate})
         rows.append([
             f"{rate:g}",
             r.counters["inv.injected"],
@@ -40,7 +36,7 @@ def main() -> None:
         ["inv/1000cyc", "injected", "filtered by line-YLA", "INV promotions",
          "checking cycles", "false replays/Minstr", "slowdown vs baseline"],
         rows,
-        title=f"Coherent DMDC under invalidation storms ({workload_name})",
+        title=f"Coherent DMDC under invalidation storms ({workload})",
     ))
     print("\n'filtered' invalidations hit lines with no in-flight loads and")
     print("cost nothing — the line-interleaved YLA set proves it instantly.")

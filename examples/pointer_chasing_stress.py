@@ -10,15 +10,12 @@ how each scheme copes.
 
 import sys
 
-from repro import CONFIG2, SchemeConfig
-from repro.sim.runner import run_workload
-from repro.stats.report import format_table
-from repro.workloads import SyntheticWorkload, WorkloadSpec
+from repro.api import WorkloadSpec, format_table, run
 
 
-def make_stress_workload() -> SyntheticWorkload:
+def make_stress_workload() -> WorkloadSpec:
     """An adversarial pointer chaser with frequent genuine aliasing."""
-    spec = WorkloadSpec(
+    return WorkloadSpec(
         name="chase-stress",
         group="INT",
         load_fraction=0.32,
@@ -33,27 +30,20 @@ def make_stress_workload() -> SyntheticWorkload:
         branch_bias=0.85,
         seed=97,
     )
-    return SyntheticWorkload(spec)
 
 
 def main() -> None:
     budget = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
     workload = make_stress_workload()
-    schemes = {
-        "conventional": SchemeConfig(kind="conventional"),
-        "yla-8": SchemeConfig(kind="yla", yla_registers=8),
-        "dmdc-global": SchemeConfig(kind="dmdc"),
-        "dmdc-local": SchemeConfig(kind="dmdc", local=True),
-    }
+    schemes = ("conventional", "yla-regs8", "dmdc", "dmdc-local")
     rows = []
     base_cycles = None
-    for name, scheme in schemes.items():
-        result = run_workload(CONFIG2.with_scheme(scheme), workload,
-                              max_instructions=budget)
+    for scheme in schemes:
+        result = run(workload, scheme=scheme, instructions=budget)
         if base_cycles is None:
             base_cycles = result.cycles
         rows.append([
-            name,
+            scheme,
             f"{result.ipc:.2f}",
             f"{result.cycles / base_cycles - 1:+.2%}",
             result.counters["groundtruth.violations"],

@@ -13,9 +13,7 @@ Usage::
 
 import sys
 
-from repro import CONFIG2, SchemeConfig, get_workload, run_workload
-from repro.energy.model import EnergyModel
-from repro.stats.report import format_table
+from repro.api import CONFIG2, EnergyModel, compare, format_table, get_workload
 
 
 def main() -> None:
@@ -25,9 +23,8 @@ def main() -> None:
 
     print(f"Running {workload_name} ({workload.group}) for {budget} instructions "
           f"on {CONFIG2.name} ...")
-    baseline = run_workload(CONFIG2, workload, max_instructions=budget)
-    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
-    dmdc = run_workload(dmdc_cfg, workload, max_instructions=budget)
+    report = compare(workload_name, scheme="dmdc", instructions=budget)
+    baseline, dmdc = report.baseline, report.candidate
 
     model = EnergyModel(CONFIG2)
     e_base = model.evaluate(baseline)
@@ -47,9 +44,9 @@ def main() -> None:
     ]
     print(format_table(["metric", "conventional", "DMDC"], rows))
     print()
-    print(f"LQ energy savings:        {1 - e_dmdc.lq / e_base.lq:.1%}")
-    print(f"Processor-wide savings:   {1 - e_dmdc.total / e_base.total:.1%}")
-    print(f"Slowdown:                 {dmdc.cycles / baseline.cycles - 1:+.2%}")
+    print(f"LQ energy savings:        {report.lq_savings:.1%}")
+    print(f"Processor-wide savings:   {report.net_savings:.1%}")
+    print(f"Slowdown:                 {report.slowdown:+.2%}")
 
 
 if __name__ == "__main__":

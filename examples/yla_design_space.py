@@ -4,12 +4,14 @@
 Sweeps the number of YLA registers and their address interleaving on a few
 representative workloads and prints the fraction of LQ searches filtered,
 plus a comparison against counting Bloom filters of equal "budget".
+
+The whole grid goes through :func:`repro.api.sweep`, so every design
+point is planned as one deduplicated, cached engine batch.
 """
 
 import sys
 
-from repro import CONFIG2, SchemeConfig, get_workload, run_workload
-from repro.stats.report import format_table
+from repro.api import format_table, sweep
 
 WORKLOADS = ("gzip", "mcf", "swim", "art")
 
@@ -17,29 +19,30 @@ WORKLOADS = ("gzip", "mcf", "swim", "art")
 def main() -> None:
     budget = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
 
-    rows = []
-    for n in (1, 2, 4, 8, 16):
-        for label, gran in (("quad-word", 8), ("cache-line", 128)):
-            cfg = CONFIG2.with_scheme(
-                SchemeConfig(kind="yla", yla_registers=n, yla_granularity=gran)
-            )
-            cells = [f"{n} x {label}"]
-            for name in WORKLOADS:
-                r = run_workload(cfg, get_workload(name), max_instructions=budget)
-                cells.append(f"{r.safe_store_fraction:.1%}")
-            rows.append(cells)
+    yla_points = [
+        (f"{n} x {label}", f"yla-regs{n}-gran{gran}")
+        for n in (1, 2, 4, 8, 16)
+        for label, gran in (("quad-word", 8), ("cache-line", 128))
+    ]
+    grid = sweep(WORKLOADS, schemes=[scheme for _, scheme in yla_points],
+                 instructions=budget)
+    rows = [
+        [title, *(f"{grid[scheme][name].safe_store_fraction:.1%}"
+                  for name in WORKLOADS)]
+        for title, scheme in yla_points
+    ]
     print(format_table(["YLA configuration", *WORKLOADS], rows,
                        title="LQ searches filtered by YLA registers"))
 
     print()
-    rows = []
-    for entries in (64, 256, 1024):
-        cfg = CONFIG2.with_scheme(SchemeConfig(kind="bloom", bloom_entries=entries))
-        cells = [f"bloom {entries}"]
-        for name in WORKLOADS:
-            r = run_workload(cfg, get_workload(name), max_instructions=budget)
-            cells.append(f"{r.safe_store_fraction:.1%}")
-        rows.append(cells)
+    bloom_labels = [f"bloom-entries{entries}" for entries in (64, 256, 1024)]
+    grid = sweep(WORKLOADS, schemes=bloom_labels, instructions=budget)
+    rows = [
+        [scheme.replace("-entries", " "),
+         *(f"{grid[scheme][name].safe_store_fraction:.1%}"
+           for name in WORKLOADS)]
+        for scheme in bloom_labels
+    ]
     print(format_table(["Bloom filter", *WORKLOADS], rows,
                        title="Address-only filtering for comparison (Figure 3)"))
     print("\nNote how one 64-bit YLA register rivals kilobit Bloom filters:")

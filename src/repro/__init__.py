@@ -1,13 +1,12 @@
 """repro — reproduction of *DMDC: Delayed Memory Dependence Checking
 through Age-Based Filtering* (Castro et al., MICRO 2006).
 
-Quick start::
+Quick start — the stable surface is :mod:`repro.api`::
 
-    from repro import CONFIG2, SchemeConfig, get_workload, run_workload
+    from repro import api
 
-    baseline = run_workload(CONFIG2, get_workload("gzip"), max_instructions=10_000)
-    dmdc_cfg = CONFIG2.with_scheme(SchemeConfig(kind="dmdc"))
-    dmdc = run_workload(dmdc_cfg, get_workload("gzip"), max_instructions=10_000)
+    baseline = api.run("gzip", instructions=10_000)
+    dmdc = api.run("gzip", scheme="dmdc", instructions=10_000)
     print(baseline.ipc, dmdc.ipc, dmdc.safe_store_fraction)
 
 The package layers:
@@ -51,7 +50,18 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+# The stable facade: repro.api.{run, sweep, compare, check}.  Imported
+# last so the names above exist first (api pulls from the subpackages
+# only, never from this module).
+from repro import api
+from repro.api import check, compare, run, sweep
+
 __all__ = [
+    "api",
+    "run",
+    "sweep",
+    "compare",
+    "check",
     "CheckingTable",
     "CountingBloomFilter",
     "DmdcScheme",

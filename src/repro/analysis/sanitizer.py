@@ -31,22 +31,14 @@ from repro.analysis.shadow import ShadowLSQ
 from repro.backend.dyninst import DynInstr
 from repro.core.schemes.base import CommitDecision
 from repro.errors import SanitizerError
-from repro.sim.config import SchemeConfig
+from repro.sim.config import SchemeConfig, scheme_matrix
 
 #: The canonical scheme matrix the correctness suites sweep: one label per
 #: scheme family the simulator implements (the fast-path equivalence
 #: matrix and the sanitizer matrix must cover the same nine points).
-SCHEME_MATRIX = {
-    "conventional": SchemeConfig(kind="conventional"),
-    "storesets": SchemeConfig(kind="conventional", store_sets=True),
-    "yla": SchemeConfig(kind="yla"),
-    "bloom": SchemeConfig(kind="bloom"),
-    "dmdc": SchemeConfig(kind="dmdc"),
-    "dmdc-local": SchemeConfig(kind="dmdc", local=True),
-    "dmdc-queue8": SchemeConfig(kind="dmdc", checking_queue_entries=8),
-    "garg": SchemeConfig(kind="garg"),
-    "value": SchemeConfig(kind="value"),
-}
+#: Built through the one label codec (:meth:`SchemeConfig.from_label`),
+#: so labels here, in ``repro bench``, and on the CLI cannot diverge.
+SCHEME_MATRIX = scheme_matrix()
 
 #: Cap on stored per-finding detail strings (counts are never capped).
 MAX_DETAILS = 16

@@ -1,0 +1,315 @@
+"""The stable public facade of the DMDC reproduction.
+
+``repro.api`` is the supported surface for scripts, notebooks, and the
+``examples/`` directory: four verbs plus the vocabulary types they speak.
+Everything here runs through the shared execution engine, so repeated
+design points are deduplicated and served from the content-addressed
+result cache exactly like experiment sweeps and service traffic.
+
+    from repro import api
+
+    result = api.run("gzip", scheme="dmdc-local", instructions=10_000)
+    grid = api.sweep(["gzip", "mcf"], schemes=["conventional", "dmdc"])
+    report = api.compare("mcf", scheme="dmdc")
+    print(report.table())
+
+Deep imports (``repro.sim.runner``, ``repro.exec.engine``, ...) are
+internal: they keep working, but their layout may change between
+releases — see ``docs/simulator.md``.
+
+Verbs:
+
+* :func:`run` — one design point -> :class:`SimulationResult`;
+* :func:`sweep` — a (scheme x workload) grid in one deduplicated batch;
+* :func:`compare` — candidate vs baseline with the paper's energy verdict;
+* :func:`check` — the correctness tooling (lint + sanitizer) as data.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis import (
+    SCHEME_MATRIX,
+    compare_results,
+    per_workload_table,
+    speedup_summary,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.errors import ConfigError, ReproError, SimulationError
+from repro.exec import EngineOptions, ExecutionEngine, RunRequest, get_engine, use_engine
+from repro.isa.instruction import MicroOp
+from repro.isa.opcodes import InstrClass
+from repro.isa.trace import Trace
+from repro.sim.config import (
+    CONFIG1,
+    CONFIG2,
+    CONFIG3,
+    SCHEME_LABELS,
+    MachineConfig,
+    SchemeConfig,
+    scheme_matrix,
+    small_config,
+)
+from repro.sim.processor import Processor
+from repro.sim.result import SimulationResult
+from repro.sim.runner import instruction_budget
+from repro.stats.report import format_table
+from repro.workloads import SUITE, SyntheticWorkload, WorkloadSpec, get_workload
+
+__all__ = [
+    # the four verbs
+    "run", "sweep", "compare", "check",
+    # comparison report
+    "CompareReport",
+    # vocabulary types and helpers (stable re-exports)
+    "CONFIG1", "CONFIG2", "CONFIG3", "NAMED_CONFIGS",
+    "MachineConfig", "SchemeConfig", "SCHEME_LABELS", "scheme_matrix",
+    "SCHEME_MATRIX", "SimulationResult", "RunRequest",
+    "EngineOptions", "ExecutionEngine", "get_engine", "use_engine",
+    "EnergyModel", "EnergyBreakdown",
+    "SUITE", "SyntheticWorkload", "WorkloadSpec", "get_workload",
+    "format_table", "per_workload_table", "speedup_summary", "compare_results",
+    "ConfigError", "ReproError", "SimulationError",
+    # advanced: hand-built traces and direct pipeline access
+    "MicroOp", "InstrClass", "Trace", "Processor", "small_config",
+    "simulate_trace",
+]
+
+NAMED_CONFIGS: Dict[str, MachineConfig] = {
+    "config1": CONFIG1,
+    "config2": CONFIG2,
+    "config3": CONFIG3,
+}
+
+SchemeLike = Union[str, SchemeConfig]
+ConfigLike = Union[str, MachineConfig]
+WorkloadLike = Union[str, WorkloadSpec, SyntheticWorkload]
+
+
+# -- coercion ------------------------------------------------------------
+def _as_scheme(scheme: SchemeLike) -> SchemeConfig:
+    if isinstance(scheme, SchemeConfig):
+        return scheme
+    return SchemeConfig.from_label(scheme)
+
+
+def _as_machine(config: ConfigLike, scheme: SchemeLike,
+                overrides: Optional[Dict] = None) -> MachineConfig:
+    if isinstance(config, str):
+        if config not in NAMED_CONFIGS:
+            raise ConfigError(
+                f"unknown config {config!r}; choices: {sorted(NAMED_CONFIGS)}")
+        machine = NAMED_CONFIGS[config]
+    else:
+        machine = config
+    machine = machine.with_scheme(_as_scheme(scheme))
+    if overrides:
+        machine = machine.with_overrides(**overrides)
+    return machine
+
+
+def _as_workload(workload: WorkloadLike) -> Union[str, WorkloadSpec]:
+    if isinstance(workload, SyntheticWorkload):
+        return workload.spec
+    if isinstance(workload, str):
+        get_workload(workload)  # validate the name eagerly
+    return workload
+
+
+def _workload_name(workload: WorkloadLike) -> str:
+    if isinstance(workload, str):
+        return workload
+    if isinstance(workload, SyntheticWorkload):
+        return workload.spec.name
+    return workload.name
+
+
+def _scheme_label(scheme: SchemeLike) -> str:
+    return scheme if isinstance(scheme, str) else scheme.label()
+
+
+# -- the four verbs ------------------------------------------------------
+def run(workload: WorkloadLike,
+        scheme: SchemeLike = "conventional",
+        config: ConfigLike = "config2",
+        *,
+        instructions: Optional[int] = None,
+        seed: int = 1,
+        overrides: Optional[Dict] = None) -> SimulationResult:
+    """Simulate one design point through the shared (caching) engine.
+
+    ``workload`` is a suite name, a :class:`WorkloadSpec`, or a
+    :class:`SyntheticWorkload`; ``scheme`` a canonical label (e.g.
+    ``"dmdc-local"``) or a :class:`SchemeConfig`; ``config`` a named
+    machine (``"config1"``..``"config3"``) or a :class:`MachineConfig`.
+    ``overrides`` patches machine fields (e.g. ``{"lq_size": 48}``).
+    """
+    budget = instructions if instructions is not None else instruction_budget()
+    request = RunRequest(_as_machine(config, scheme, overrides),
+                         _as_workload(workload), budget, seed)
+    return get_engine().run([request])[0]
+
+
+def sweep(workloads: Iterable[WorkloadLike],
+          schemes: Sequence[SchemeLike] = ("conventional", "dmdc"),
+          config: ConfigLike = "config2",
+          *,
+          instructions: Optional[int] = None,
+          seed: int = 1,
+          overrides: Optional[Dict] = None) -> Dict[str, Dict[str, SimulationResult]]:
+    """A (scheme x workload) grid, planned as **one** engine batch.
+
+    Returns ``results[scheme_label][workload_name]``.  Duplicated design
+    points cost one simulation; previously-run points come from cache.
+    """
+    budget = instructions if instructions is not None else instruction_budget()
+    workloads = list(workloads)
+    requests: List[RunRequest] = []
+    slots: List[tuple] = []
+    for scheme in schemes:
+        machine = _as_machine(config, scheme, overrides)
+        label = _scheme_label(scheme)
+        for workload in workloads:
+            requests.append(RunRequest(machine, _as_workload(workload),
+                                       budget, seed))
+            slots.append((label, _workload_name(workload)))
+    results = get_engine().run(requests)
+    grid: Dict[str, Dict[str, SimulationResult]] = {}
+    for (label, name), result in zip(slots, results):
+        grid.setdefault(label, {})[name] = result
+    return grid
+
+
+@dataclass
+class CompareReport:
+    """Baseline vs candidate on one workload, with the energy verdict."""
+
+    baseline: SimulationResult
+    candidate: SimulationResult
+    energy_baseline: EnergyBreakdown
+    energy_candidate: EnergyBreakdown
+
+    @property
+    def lq_savings(self) -> float:
+        """Fractional LQ energy saved by the candidate scheme."""
+        if not self.energy_baseline.lq:
+            return 0.0
+        return 1 - self.energy_candidate.lq / self.energy_baseline.lq
+
+    @property
+    def net_savings(self) -> float:
+        if not self.energy_baseline.total:
+            return 0.0
+        return 1 - self.energy_candidate.total / self.energy_baseline.total
+
+    @property
+    def slowdown(self) -> float:
+        """Cycle overhead of the candidate (positive = slower)."""
+        if not self.baseline.cycles:
+            return 0.0
+        return self.candidate.cycles / self.baseline.cycles - 1
+
+    def table(self) -> str:
+        base, cand = self.baseline, self.candidate
+        rows = [
+            ["IPC", f"{base.ipc:.3f}", f"{cand.ipc:.3f}"],
+            ["LQ searches", base.counters["lq.searches_assoc"],
+             cand.counters["lq.searches_assoc"]],
+            ["replays", base.counters["replays"], cand.counters["replays"]],
+            ["LQ energy", f"{self.energy_baseline.lq:.0f}",
+             f"{self.energy_candidate.lq:.0f}"],
+            ["total energy", f"{self.energy_baseline.total:.0f}",
+             f"{self.energy_candidate.total:.0f}"],
+        ]
+        return format_table(["metric", base.scheme_name, cand.scheme_name], rows)
+
+    def verdict(self) -> str:
+        return (f"LQ savings {self.lq_savings:.1%}, "
+                f"net {self.net_savings:.1%}, "
+                f"slowdown {self.slowdown:+.2%}")
+
+
+def compare(workload: WorkloadLike,
+            scheme: SchemeLike = "dmdc",
+            baseline: SchemeLike = "conventional",
+            config: ConfigLike = "config2",
+            *,
+            instructions: Optional[int] = None,
+            seed: int = 1,
+            overrides: Optional[Dict] = None) -> CompareReport:
+    """Run ``baseline`` and ``scheme`` side by side on one workload."""
+    grid = sweep([workload], schemes=[baseline, scheme], config=config,
+                 instructions=instructions, seed=seed, overrides=overrides)
+    name = _workload_name(workload)
+    base = grid[_scheme_label(baseline)][name]
+    cand = grid[_scheme_label(scheme)][name]
+    machine = _as_machine(config, baseline, overrides)
+    model = EnergyModel(machine)
+    return CompareReport(base, cand, model.evaluate(base), model.evaluate(cand))
+
+
+def check(paths: Optional[Sequence[str]] = None,
+          *,
+          static: bool = True,
+          sanitize: bool = False,
+          schemes: Optional[Sequence[str]] = None,
+          workloads: Optional[Sequence[str]] = None,
+          instructions: int = 6_000,
+          config: ConfigLike = "config2",
+          seed: int = 1,
+          strict: bool = False) -> Dict[str, object]:
+    """The correctness tooling as data (see ``docs/correctness.md``).
+
+    Returns ``{"ok": bool, "static": [violations...],
+    "sanitize": [reports...]}`` with only the halves that were requested.
+    """
+    payload: Dict[str, object] = {}
+    ok = True
+    if static:
+        from repro.analysis.lint import lint_paths
+        violations = lint_paths(list(paths) if paths else ["src"])
+        payload["static"] = [v._asdict() for v in violations]
+        ok = ok and not violations
+    if sanitize:
+        from repro.analysis.sanitizer import run_sanitized
+        machine = _as_machine(config, "conventional")
+        labels = list(schemes) if schemes else sorted(SCHEME_MATRIX)
+        names = list(workloads) if workloads else ["gzip", "mcf"]
+        reports = []
+        for name in names:
+            trace = get_workload(name).generate(instructions + 2_000)
+            for label in labels:
+                scheme_cfg = SCHEME_MATRIX.get(label)
+                if scheme_cfg is None:
+                    raise ConfigError(
+                        f"unknown sanitizer scheme {label!r}; choices: "
+                        f"{sorted(SCHEME_MATRIX)}")
+                _, report = run_sanitized(
+                    machine.with_scheme(scheme_cfg), trace,
+                    max_instructions=instructions, seed=seed, strict=strict)
+                entry = report.as_dict()
+                entry.update(workload=name, label=label)
+                reports.append(entry)
+                ok = ok and report.clean
+        payload["sanitize"] = reports
+    payload["ok"] = ok
+    return payload
+
+
+# -- advanced ------------------------------------------------------------
+def simulate_trace(trace: Trace,
+                   scheme: SchemeLike = "conventional",
+                   config: Optional[MachineConfig] = None,
+                   *,
+                   instructions: Optional[int] = None,
+                   seed: int = 1) -> SimulationResult:
+    """Run a hand-built :class:`Trace` directly on the pipeline.
+
+    Trace-level runs bypass the engine/cache (a hand-built trace has no
+    canonical content address) — for the cached path, define a
+    :class:`WorkloadSpec` and use :func:`run`.
+    """
+    machine = (config if config is not None else small_config(
+        wrongpath_loads=False)).with_scheme(_as_scheme(scheme))
+    processor = Processor(machine, trace, seed=seed)
+    return processor.run(instructions if instructions is not None else len(trace))

@@ -27,6 +27,10 @@ Commands:
     the repo-specific AST lint pass, ``--sanitize`` runs the shadow-oracle
     memory-ordering sanitizer over scheme/workload sweeps; with neither
     flag, both halves run.
+``serve``
+    Long-lived JSON-over-HTTP simulation service (see ``docs/service.md``):
+    batched, deduplicating, backpressured access to the execution engine
+    for streams of small design-point queries.
 """
 
 import argparse
@@ -48,23 +52,42 @@ CONFIGS = {"config1": CONFIG1, "config2": CONFIG2, "config3": CONFIG3}
 
 
 def _scheme_from_args(args) -> SchemeConfig:
-    return SchemeConfig(
-        kind=args.scheme,
-        yla_registers=args.yla_registers,
-        local=args.local,
-        coherence=args.coherence,
-        safe_loads=not args.no_safe_loads,
-        checking_queue_entries=args.checking_queue,
-        bloom_entries=args.bloom_entries,
-        store_sets=args.store_sets,
-    )
+    """Decode ``--scheme`` through the canonical label codec, then overlay
+    any explicitly-passed modifier flags."""
+    from dataclasses import replace
+
+    from repro.errors import ConfigError
+    try:
+        scheme = SchemeConfig.from_label(args.scheme)
+    except ConfigError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    overrides = {}
+    if args.yla_registers is not None:
+        overrides["yla_registers"] = args.yla_registers
+    if args.bloom_entries is not None:
+        overrides["bloom_entries"] = args.bloom_entries
+    if args.local:
+        overrides["local"] = True
+    if args.coherence:
+        overrides["coherence"] = True
+    if args.no_safe_loads:
+        overrides["safe_loads"] = False
+    if args.checking_queue is not None:
+        overrides["checking_queue_entries"] = args.checking_queue
+    if args.store_sets:
+        overrides["store_sets"] = True
+    return replace(scheme, **overrides) if overrides else scheme
 
 
 def _add_scheme_args(parser) -> None:
-    parser.add_argument("--scheme", default="conventional",
-                        choices=["conventional", "yla", "bloom", "dmdc", "garg", "value"])
-    parser.add_argument("--yla-registers", type=int, default=8)
-    parser.add_argument("--bloom-entries", type=int, default=1024)
+    parser.add_argument("--scheme", default="conventional", metavar="LABEL",
+                        help="canonical scheme label: a kind (conventional, "
+                             "yla, bloom, dmdc, garg, value, storesets) plus "
+                             "optional suffixes, e.g. dmdc-local, "
+                             "dmdc-queue8, yla-regs16 (SchemeConfig.from_label)")
+    parser.add_argument("--yla-registers", type=int, default=None)
+    parser.add_argument("--bloom-entries", type=int, default=None)
     parser.add_argument("--local", action="store_true",
                         help="local DMDC windows (Section 4.4)")
     parser.add_argument("--coherence", action="store_true",
@@ -171,11 +194,20 @@ def _engine_progress(done: int, total: int, request, source: str) -> None:
           file=sys.stderr)
 
 
-def cmd_experiment_all(args) -> int:
-    from repro.exec import get_engine, plan_experiments, union_requests, use_engine
+def _engine_options(args):
+    """Explicit engine options from CLI flags (env vars remain defaults)."""
+    from repro.exec import EngineOptions
+
+    return EngineOptions.from_env(
+        cache_enabled=False if args.no_cache else None,
+        max_workers=args.jobs,
+    )
+
+
+def cmd_experiment_all(args, engine) -> int:
+    from repro.exec import plan_experiments, union_requests, use_engine
     from repro.experiments.registry import run_experiment
 
-    engine = get_engine()
     start = time.perf_counter()
     plans = plan_experiments(budget=args.budget)
     union = union_requests(plans)
@@ -216,24 +248,23 @@ def cmd_experiment_all(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from repro.exec import get_engine, use_engine
     from repro.experiments.registry import EXPERIMENTS, run_experiment
-    if args.no_cache:
-        os.environ["REPRO_CACHE"] = "0"
-    if args.jobs is not None:
-        os.environ["REPRO_PARALLEL"] = str(args.jobs)
-    if args.all:
-        return cmd_experiment_all(args)
-    if args.list or not args.id:
+    if args.list or (not args.id and not args.all):
         for exp in EXPERIMENTS.values():
             print(f"  {exp.id:16s} {exp.paper_artifact}")
         return 0
+    engine = get_engine(_engine_options(args))
+    if args.all:
+        return cmd_experiment_all(args, engine)
     if args.id not in EXPERIMENTS:
         print(f"unknown experiment {args.id!r}; use --list", file=sys.stderr)
         return 2
     kwargs = {}
     if args.budget:
         kwargs["budget"] = args.budget
-    _, text = run_experiment(args.id, **kwargs)
+    with use_engine(engine):
+        _, text = run_experiment(args.id, **kwargs)
     print(text)
     return 0
 
@@ -359,6 +390,28 @@ def cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    from repro.exec import EngineOptions
+    from repro.service import ServiceConfig, serve
+
+    options = EngineOptions.from_env(
+        cache_enabled=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+        max_workers=args.jobs,
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window / 1000.0,
+        request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        engine_options=options,
+    )
+    return serve(config, verbose=args.verbose)
+
+
 def cmd_timeline(args) -> int:
     config = _configured(args)
     trace = get_workload(args.workload).generate(args.instructions + 2000)
@@ -449,6 +502,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="raise on the first sanitizer defect")
     p.add_argument("--json", action="store_true")
 
+    p = sub.add_parser(
+        "serve", help="run the batched, backpressured simulation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351,
+                   help="TCP port (0 = ephemeral; the bound address is "
+                        "printed on startup)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                   help="admission bound: max design points pending + "
+                        "executing before 429 (default %(default)s)")
+    p.add_argument("--max-batch", type=int, default=64, metavar="N",
+                   help="max design points per engine batch")
+    p.add_argument("--batch-window", type=float, default=5.0, metavar="MS",
+                   help="micro-batch accumulation window in milliseconds")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="per-request wait before answering 503")
+    p.add_argument("--drain-timeout", type=float, default=60.0, metavar="S",
+                   help="SIGTERM drain bound in seconds")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="simulation worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run without the disk result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="disk result cache location")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request to stderr")
+
     p = sub.add_parser("bench", help="measure simulator throughput")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: fewer workloads/schemes, small budget")
@@ -475,6 +554,7 @@ _COMMANDS = {
     "timeline": cmd_timeline,
     "bench": cmd_bench,
     "check": cmd_check,
+    "serve": cmd_serve,
 }
 
 

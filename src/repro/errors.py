@@ -30,6 +30,14 @@ class OrderingViolationMissed(SimulationError):
     """
 
 
+class ServiceError(ReproError):
+    """A simulation-service request could not be served.
+
+    Subclasses map onto HTTP responses in :mod:`repro.service.server`:
+    bad payloads become 400, saturation 429, draining/timeouts 503.
+    """
+
+
 class SanitizerError(SimulationError):
     """The shadow-oracle sanitizer found a defect in strict mode.
 

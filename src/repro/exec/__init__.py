@@ -12,6 +12,7 @@ from repro.exec.engine import (
     use_engine,
     worker_count,
 )
+from repro.exec.options import EngineOptions
 from repro.exec.planner import (
     PlannedExperiment,
     plan_experiments,
@@ -22,6 +23,7 @@ from repro.exec.request import CACHE_SCHEMA_VERSION, RunRequest, simulator_finge
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "EngineOptions",
     "EngineStats",
     "ExecutionEngine",
     "PlannedExperiment",

@@ -1,7 +1,8 @@
 """Disk-backed content-addressed result cache.
 
 Entries are JSON files named by the request's content hash, stored under
-``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``).  Because the hash
+the configured cache directory (default ``~/.cache/repro``; see
+:mod:`repro.exec.options` for the environment knobs).  Because the hash
 covers the machine configuration, workload, budget, seed, serialization
 schema, *and* a fingerprint of the simulator source, a stale entry can
 never be returned — changing the model changes every key.  Writes are
@@ -13,29 +14,31 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from repro.exec.options import CACHE_DIR_ENV, CACHE_ENABLE_ENV, EngineOptions
 from repro.exec.request import CACHE_SCHEMA_VERSION, RunRequest
 from repro.sim.result import SimulationResult
 
-#: Environment variable overriding the cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-#: Set to ``0``/``off``/``false`` to disable result caching entirely.
-CACHE_ENABLE_ENV = "REPRO_CACHE"
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENABLE_ENV",
+    "ResultCache",
+    "cache_enabled",
+    "default_cache",
+    "default_cache_dir",
+]
 
 
 def default_cache_dir() -> Path:
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro"
+    return EngineOptions.from_env().resolve_cache_dir()
 
 
 def cache_enabled() -> bool:
-    return os.environ.get(CACHE_ENABLE_ENV, "1").lower() not in ("0", "off", "false")
+    return EngineOptions.from_env().cache_enabled
 
 
 def default_cache() -> Optional["ResultCache"]:
     """The environment-configured cache, or ``None`` when disabled."""
-    return ResultCache() if cache_enabled() else None
+    return EngineOptions.from_env().build_cache()
 
 
 class ResultCache:

@@ -9,22 +9,30 @@ naming the exact (config, workload, budget, seed) job that died.
 """
 
 import atexit
-import os
 import time
 from contextlib import contextmanager
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError, SimulationError
-from repro.exec.cache import CACHE_DIR_ENV, CACHE_ENABLE_ENV, ResultCache, default_cache
+from repro.errors import SimulationError
+from repro.exec.cache import ResultCache
+from repro.exec.options import PARALLEL_ENV, EngineOptions
 from repro.exec.request import RunRequest
 from repro.sim.result import SimulationResult
 from repro.sim.runner import run_workload
 
-#: ``REPRO_PARALLEL`` sets the worker count: 0 or 1 forces serial
-#: execution; unset picks ``min(cpu_count, 12)``.
-PARALLEL_ENV = "REPRO_PARALLEL"
+__all__ = [
+    "PARALLEL_ENV",
+    "EngineOptions",
+    "EngineStats",
+    "ExecutionEngine",
+    "get_engine",
+    "set_engine",
+    "shutdown_engine",
+    "use_engine",
+    "worker_count",
+]
 
 #: Progress callback: (done, total, request, source) with source one of
 #: ``"memo"``, ``"cache"``, ``"run"``.
@@ -32,16 +40,8 @@ ProgressFn = Callable[[int, int, RunRequest, str], None]
 
 
 def worker_count() -> int:
-    raw = os.environ.get(PARALLEL_ENV)
-    if raw is None or raw == "":
-        return min(os.cpu_count() or 1, 12)
-    try:
-        n = int(raw)
-    except ValueError:
-        raise ConfigError(
-            f"{PARALLEL_ENV} must be an integer worker count, got {raw!r}"
-        ) from None
-    return max(1, n)
+    """Environment-default worker count (see :mod:`repro.exec.options`)."""
+    return EngineOptions.from_env().resolve_workers()
 
 
 def _execute(request: RunRequest) -> SimulationResult:
@@ -94,7 +94,14 @@ class ExecutionEngine:
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  max_workers: Optional[int] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 options: Optional[EngineOptions] = None) -> None:
+        if options is not None:
+            if cache is None:
+                cache = options.build_cache()
+            if max_workers is None:
+                max_workers = options.resolve_workers()
+        self.options = options
         self.cache = cache
         self.max_workers = max_workers if max_workers is not None else worker_count()
         self.progress = progress
@@ -215,57 +222,56 @@ class ExecutionEngine:
 
 # -- shared default engine ----------------------------------------------
 _default_engine: Optional[ExecutionEngine] = None
-_default_settings: Optional[Tuple] = None
+#: Options the default engine was built from (``None`` when it was handed
+#: over explicitly via :func:`set_engine`/:func:`use_engine`, in which
+#: case environment changes never trigger a rebuild).
+_default_options: Optional[EngineOptions] = None
 
 
-def _env_settings() -> Tuple:
-    return (
-        os.environ.get(CACHE_DIR_ENV),
-        os.environ.get(CACHE_ENABLE_ENV),
-        os.environ.get(PARALLEL_ENV),
-    )
+def get_engine(options: Optional[EngineOptions] = None) -> ExecutionEngine:
+    """The process-wide engine, rebuilt if its options changed.
 
-
-def get_engine() -> ExecutionEngine:
-    """The process-wide engine, rebuilt if the environment changed.
-
-    Sharing one engine across experiments is what turns N overlapping
-    sweeps into one deduplicated one: its memo and pool persist between
-    ``run_suite`` calls.
+    With no argument the engine follows the environment defaults
+    (:meth:`EngineOptions.from_env`); passing explicit ``options`` pins
+    it.  Sharing one engine across experiments is what turns N
+    overlapping sweeps into one deduplicated one: its memo and pool
+    persist between ``run_suite`` calls.
     """
-    global _default_engine, _default_settings
-    settings = _env_settings()
-    if _default_engine is None or settings != _default_settings:
+    global _default_engine, _default_options
+    if _default_engine is not None and options is None and _default_options is None:
+        return _default_engine  # explicitly installed: env changes don't evict
+    desired = options if options is not None else EngineOptions.from_env()
+    if _default_engine is None or desired != _default_options:
         if _default_engine is not None:
             _default_engine.close()
-        _default_engine = ExecutionEngine(cache=default_cache())
-        _default_settings = settings
+        _default_engine = ExecutionEngine(options=desired)
+        _default_options = desired
     return _default_engine
 
 
 def set_engine(engine: Optional[ExecutionEngine]) -> None:
     """Replace the process-wide engine (tests, custom CLI wiring)."""
-    global _default_engine, _default_settings
+    global _default_engine, _default_options
     if _default_engine is not None and _default_engine is not engine:
         _default_engine.close()
     _default_engine = engine
-    _default_settings = _env_settings() if engine is not None else None
+    _default_options = None
 
 
 @contextmanager
-def use_engine(engine: ExecutionEngine) -> Iterator[None]:
+def use_engine(engine: ExecutionEngine) -> Iterator[ExecutionEngine]:
     """Temporarily make ``engine`` the process-wide default.
 
     Unlike :func:`set_engine`, the previous default is restored (and not
     closed) on exit — for scoped wiring like the CLI's ``--all`` sweep.
     """
-    global _default_engine, _default_settings
-    prev, prev_settings = _default_engine, _default_settings
-    _default_engine, _default_settings = engine, _env_settings()
+    global _default_engine, _default_options
+    prev, prev_options = _default_engine, _default_options
+    _default_engine, _default_options = engine, None
     try:
         yield engine
     finally:
-        _default_engine, _default_settings = prev, prev_settings
+        _default_engine, _default_options = prev, prev_options
 
 
 def shutdown_engine() -> None:

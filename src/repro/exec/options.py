@@ -1,0 +1,108 @@
+"""Engine configuration: the one place environment knobs are read.
+
+Every tunable of the execution engine — result-cache location and
+enablement, worker-process count — is a field of :class:`EngineOptions`.
+The environment variables below are *defaults* consumed exactly here, in
+:meth:`EngineOptions.from_env`; everything else in the repository (CLI
+flags, the service daemon, tests) builds an explicit ``EngineOptions``
+and threads it through :func:`repro.exec.engine.get_engine`.  Nothing
+outside this module reads or mutates these variables.
+"""
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.exec.cache import ResultCache
+
+#: Overrides the disk result-cache location (default ``~/.cache/repro``).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Set to ``0``/``off``/``false`` to disable result caching entirely.
+CACHE_ENABLE_ENV = "REPRO_CACHE"
+#: Worker count: 0 or 1 forces serial; unset picks ``min(cpu_count, 12)``.
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: Upper bound on the default worker count (diminishing returns past it).
+_DEFAULT_WORKER_CAP = 12
+
+
+def _env_cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENABLE_ENV, "1").lower() not in ("0", "off", "false")
+
+
+def _env_cache_dir() -> Optional[Path]:
+    raw = os.environ.get(CACHE_DIR_ENV)
+    return Path(raw) if raw else None
+
+
+def _env_workers() -> Optional[int]:
+    raw = os.environ.get(PARALLEL_ENV)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{PARALLEL_ENV} must be an integer worker count, got {raw!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Explicit, comparable configuration for one execution engine.
+
+    ``None`` fields mean "use the built-in default" (home cache dir,
+    cpu-derived worker count) — *not* "read the environment".  Reading
+    the environment happens only in :meth:`from_env`.
+    """
+
+    cache_enabled: bool = True
+    cache_dir: Optional[Path] = None
+    max_workers: Optional[int] = None
+
+    @classmethod
+    def from_env(cls, cache_enabled: Optional[bool] = None,
+                 cache_dir: Optional[Path] = None,
+                 max_workers: Optional[int] = None) -> "EngineOptions":
+        """Environment-derived defaults, with explicit keyword overrides.
+
+        This classmethod is the single site in the repository where the
+        ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_PARALLEL``
+        variables are consulted.
+        """
+        options = cls(
+            cache_enabled=_env_cache_enabled(),
+            cache_dir=_env_cache_dir(),
+            max_workers=_env_workers(),
+        )
+        if cache_enabled is not None:
+            options = replace(options, cache_enabled=cache_enabled)
+        if cache_dir is not None:
+            options = replace(options, cache_dir=Path(cache_dir))
+        if max_workers is not None:
+            options = replace(options, max_workers=max_workers)
+        return options
+
+    # -- resolution ------------------------------------------------------
+    def resolve_cache_dir(self) -> Path:
+        if self.cache_dir is not None:
+            return self.cache_dir
+        return Path.home() / ".cache" / "repro"
+
+    def resolve_workers(self) -> int:
+        """Concrete worker count: 0/1 force serial, ``None`` is cpu-derived."""
+        if self.max_workers is None:
+            return min(os.cpu_count() or 1, _DEFAULT_WORKER_CAP)
+        return max(1, self.max_workers)
+
+    def build_cache(self) -> Optional["ResultCache"]:
+        """A :class:`ResultCache` at the resolved location, or ``None``."""
+        if not self.cache_enabled:
+            return None
+        from repro.exec.cache import ResultCache
+
+        return ResultCache(self.resolve_cache_dir())

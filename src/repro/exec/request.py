@@ -24,10 +24,30 @@ CACHE_SCHEMA_VERSION = 1
 
 #: Top-level entries of the ``repro`` package that cannot influence a
 #: simulation result, and therefore stay out of the source fingerprint —
-#: editing the CLI or an experiment's rendering must not invalidate runs.
+#: editing the CLI, an experiment's rendering, a lint rule under
+#: ``analysis/``, the bench harness, or the HTTP service must not
+#: invalidate every cached run.
 _NON_SIMULATION_PARTS = frozenset({
-    "experiments", "exec", "cli.py", "__main__.py", "reporting.py", "analysis.py",
+    "experiments", "exec", "analysis", "perf", "service", "api.py",
+    "cli.py", "__main__.py", "reporting.py",
 })
+
+
+def fingerprint_tree(root: Path) -> str:
+    """Digest of every simulation-relevant source file under ``root``.
+
+    Split from :func:`simulator_fingerprint` so the exclusion policy can
+    be exercised on synthetic trees in tests.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts[0] in _NON_SIMULATION_PARTS:
+            continue
+        digest.update(str(rel).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 @lru_cache(maxsize=1)
@@ -39,16 +59,7 @@ def simulator_fingerprint() -> str:
     """
     import repro
 
-    root = Path(repro.__file__).parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root)
-        if rel.parts[0] in _NON_SIMULATION_PARTS:
-            continue
-        digest.update(str(rel).encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
+    return fingerprint_tree(Path(repro.__file__).parent)
 
 
 @dataclass(frozen=True)

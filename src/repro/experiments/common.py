@@ -7,10 +7,10 @@ the process-wide :class:`~repro.exec.ExecutionEngine`, which dedupes
 repeated design points, serves previously-simulated ones from its disk
 cache, and fans the rest out across one persistent process pool.
 
-Knobs: ``REPRO_PARALLEL=n`` sets the worker count (0 forces serial —
-useful under debuggers), ``REPRO_WORKLOADS_PER_GROUP=n`` sweeps a subset
-while iterating, ``REPRO_CACHE=0``/``REPRO_CACHE_DIR`` control the
-result cache.
+Knobs: worker count, cache location, and cache enablement are fields of
+:class:`repro.exec.EngineOptions` (their environment-variable defaults
+are documented — and read — only in :mod:`repro.exec.options`);
+``REPRO_WORKLOADS_PER_GROUP=n`` sweeps a suite subset while iterating.
 """
 
 import os

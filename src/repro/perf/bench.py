@@ -24,7 +24,7 @@ import subprocess
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.config import CONFIG2, MachineConfig, SchemeConfig
+from repro.sim.config import CONFIG2, SCHEME_LABELS, MachineConfig, SchemeConfig
 from repro.sim.processor import NO_FASTPATH_ENV, Processor
 from repro.sim.runner import instruction_budget
 
@@ -38,22 +38,14 @@ DEFAULT_MIX = ("gzip", "mcf", "twolf", "equake")
 #: CI smoke mix: one cheap workload, the two headline schemes.
 QUICK_MIX = ("gzip", "mcf")
 
-#: Scheme configurations benchmarked, label -> SchemeConfig.
-FULL_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = (
-    ("conventional", SchemeConfig(kind="conventional")),
-    ("storesets", SchemeConfig(kind="conventional", store_sets=True)),
-    ("yla", SchemeConfig(kind="yla")),
-    ("bloom", SchemeConfig(kind="bloom")),
-    ("dmdc", SchemeConfig(kind="dmdc")),
-    ("dmdc-local", SchemeConfig(kind="dmdc", local=True)),
-    ("dmdc-queue8", SchemeConfig(kind="dmdc", checking_queue_entries=8)),
-    ("garg", SchemeConfig(kind="garg")),
-    ("value", SchemeConfig(kind="value")),
+#: Scheme configurations benchmarked, label -> SchemeConfig — the full
+#: canonical matrix, decoded through the one label codec.
+FULL_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = tuple(
+    (label, SchemeConfig.from_label(label)) for label in SCHEME_LABELS
 )
 
-QUICK_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = (
-    ("conventional", SchemeConfig(kind="conventional")),
-    ("dmdc", SchemeConfig(kind="dmdc")),
+QUICK_SCHEMES: Tuple[Tuple[str, SchemeConfig], ...] = tuple(
+    (label, SchemeConfig.from_label(label)) for label in ("conventional", "dmdc")
 )
 
 

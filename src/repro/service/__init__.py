@@ -1,0 +1,47 @@
+"""``repro serve`` — the batched, backpressured simulation service.
+
+Turns the one-shot execution engine into a long-lived daemon: concurrent
+clients POST design points, the service normalizes them into the
+engine's content-address space, coalesces duplicates in flight, executes
+micro-batches on one persistent engine (process pool + memo + disk
+cache), and reports itself through ``GET /metrics``.  See
+``docs/service.md`` for the endpoint and backpressure contract.
+
+Layers:
+
+* :mod:`repro.service.schema` — JSON payloads -> :class:`RunRequest`s;
+* :mod:`repro.service.batcher` — admission queue, in-flight dedup,
+  micro-batching, graceful drain;
+* :mod:`repro.service.metrics` — counters + latency percentiles;
+* :mod:`repro.service.server` — the HTTP layer and ``serve()`` loop;
+* :mod:`repro.service.client` — a stdlib client (tests, CI smoke).
+"""
+
+from repro.service.batcher import Draining, MicroBatcher, ResultTimeout, Saturated, Ticket
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.metrics import ServiceMetrics
+from repro.service.schema import SchemaError, describe_result, parse_run_payload
+from repro.service.server import (
+    ReproService,
+    ServiceConfig,
+    create_server,
+    serve,
+)
+
+__all__ = [
+    "Draining",
+    "MicroBatcher",
+    "ReproService",
+    "ResultTimeout",
+    "Saturated",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTPError",
+    "ServiceMetrics",
+    "Ticket",
+    "create_server",
+    "describe_result",
+    "parse_run_payload",
+    "serve",
+]

@@ -1,0 +1,92 @@
+"""A minimal stdlib client for the simulation service.
+
+Used by the integration tests and the CI ``service-smoke`` job; also the
+reference for how to talk to the service from any HTTP client.  One
+:class:`ServiceClient` is safe to share across threads — every call opens
+its own connection.
+"""
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+class ServiceHTTPError(ServiceError):
+    """A non-2xx service response, carrying status and decoded body."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Typed wrappers over the service's five endpoints."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8351,
+                 timeout: float = 180.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[Dict] = None) -> Tuple[int, Dict[str, object]]:
+        """One HTTP exchange; returns (status, decoded JSON body)."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict[str, object]:
+        status, payload = self.request(method, path, body)
+        if status >= 400:
+            raise ServiceHTTPError(status, payload)
+        return payload
+
+    # -- endpoints --------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        return self._checked("GET", "/metrics")
+
+    def run(self, workload: str, scheme: str = "conventional",
+            config: str = "config2", instructions: int = 12_000,
+            seed: int = 1, counters: bool = False,
+            **extra: object) -> Dict[str, object]:
+        body: Dict[str, object] = {
+            "workload": workload, "scheme": scheme, "config": config,
+            "instructions": instructions, "seed": seed,
+        }
+        body.update(extra)
+        path = "/run?counters=1" if counters else "/run"
+        return self._checked("POST", path, body)
+
+    def sweep(self, points: List[Dict], defaults: Optional[Dict] = None,
+              counters: bool = False) -> Dict[str, object]:
+        body: Dict[str, object] = {"points": points}
+        if defaults:
+            body["defaults"] = defaults
+        path = "/sweep?counters=1" if counters else "/sweep"
+        return self._checked("POST", path, body)
+
+    def experiment(self, exp_id: str,
+                   budget: Optional[int] = None) -> Dict[str, object]:
+        path = f"/experiment/{exp_id}"
+        if budget is not None:
+            path += f"?budget={budget}"
+        return self._checked("GET", path)

@@ -1,0 +1,127 @@
+"""Service observability: thread-safe counters, batch shape, latencies.
+
+One :class:`ServiceMetrics` instance is shared by the admission path
+(HTTP handler threads) and the batching thread; every mutation happens
+under one lock, and :meth:`snapshot` returns a plain-JSON dict suitable
+for ``GET /metrics`` directly.
+"""
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: How many recent request latencies feed the percentile estimates.
+LATENCY_RESERVOIR = 2048
+#: How many recent batch sizes feed the batch-shape stats.
+BATCH_RESERVOIR = 512
+
+#: Percentiles reported by ``/metrics``.
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which may be unsorted)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Cumulative accounting for one service process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # Admission
+        self.received = 0              # design points admitted (incl. coalesced)
+        self.unique_submitted = 0      # new unique keys entered into the queue
+        self.coalesced_inflight = 0    # points that shared an in-flight entry
+        self.rejected_saturation = 0   # 429s
+        self.rejected_draining = 0     # 503s while shutting down
+        # Completion
+        self.completed = 0
+        self.errors = 0
+        self.timeouts = 0
+        # Batching
+        self.batches = 0
+        self.max_batch = 0
+        self._batch_sizes: Deque[int] = deque(maxlen=BATCH_RESERVOIR)
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+
+    # -- recording -------------------------------------------------------
+    def admitted(self, coalesced: bool) -> None:
+        with self._lock:
+            self.received += 1
+            if coalesced:
+                self.coalesced_inflight += 1
+            else:
+                self.unique_submitted += 1
+
+    def rejected(self, draining: bool) -> None:
+        with self._lock:
+            if draining:
+                self.rejected_draining += 1
+            else:
+                self.rejected_saturation += 1
+
+    def finished(self, latency_seconds: float, error: bool = False) -> None:
+        with self._lock:
+            if error:
+                self.errors += 1
+            else:
+                self.completed += 1
+            self._latencies.append(latency_seconds)
+
+    def timed_out(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.max_batch = max(self.max_batch, size)
+            self._batch_sizes.append(size)
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
+                 engine_stats: Optional[Dict[str, float]] = None,
+                 draining: bool = False) -> Dict[str, object]:
+        """A JSON-ready view of everything measured so far."""
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            latencies = list(self._latencies)
+            service: Dict[str, object] = {
+                "received": self.received,
+                "unique_submitted": self.unique_submitted,
+                "coalesced_inflight": self.coalesced_inflight,
+                "rejected_saturation": self.rejected_saturation,
+                "rejected_draining": self.rejected_draining,
+                "completed": self.completed,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "queue_depth": queue_depth,
+                "in_flight": in_flight,
+                "draining": draining,
+            }
+        batching: Dict[str, object] = {
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "mean_batch": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "recent_batches": sizes[-16:],
+        }
+        latency: Dict[str, object] = {
+            f"p{int(pct)}_seconds": percentile(latencies, pct)
+            for pct in PERCENTILES
+        }
+        latency["samples"] = len(latencies)
+        payload: Dict[str, object] = {
+            "service": service,
+            "batching": batching,
+            "latency": latency,
+        }
+        if engine_stats is not None:
+            payload["engine"] = dict(engine_stats)
+        return payload

@@ -2,10 +2,34 @@
 
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.mem.cache import CacheConfig
+
+#: ``storesets`` is a label alias: the store-set predictor rides on the
+#: conventional LQ, so its canonical config is conventional + store_sets.
+_STORESETS_ALIAS = "storesets"
+
+#: Boolean label suffixes, in canonical emission order: token -> (field,
+#: labelled value).  A token appears in a label iff the field differs
+#: from the dataclass default.
+_FLAG_TOKENS: Tuple[Tuple[str, str, bool], ...] = (
+    ("local", "local", True),
+    ("coherent", "coherence", True),
+    ("storesets", "store_sets", True),
+    ("nosafe", "safe_loads", False),
+    ("sqfilter", "sq_filter", True),
+)
+
+#: Integer-valued label suffixes (``<token><N>``), canonical order.
+_INT_TOKENS: Tuple[Tuple[str, str], ...] = (
+    ("queue", "checking_queue_entries"),
+    ("table", "table_entries"),
+    ("regs", "yla_registers"),
+    ("gran", "yla_granularity"),
+    ("entries", "bloom_entries"),
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +57,90 @@ class SchemeConfig:
     def cache_key(self) -> str:
         """Deterministic canonical form: same fields, same key, any process."""
         return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    # -- the canonical label codec ----------------------------------------
+    #
+    # One grammar shared by the CLI, the correctness matrix, the bench
+    # harness, and the HTTP service: ``<kind>[-<suffix>...]`` where each
+    # suffix names one non-default field (``local``, ``coherent``,
+    # ``storesets``, ``nosafe``, ``sqfilter``, ``queue<N>``, ``table<N>``,
+    # ``regs<N>``, ``gran<N>``, ``entries<N>``).  ``storesets`` alone
+    # abbreviates ``conventional-storesets``.  ``label()`` and
+    # ``from_label()`` round-trip exactly: every field is covered.
+
+    def label(self) -> str:
+        """The canonical label for this scheme configuration."""
+        defaults = SchemeConfig()
+        parts = [self.kind]
+        skip_storesets = False
+        if self.kind == "conventional" and self.store_sets:
+            parts = [_STORESETS_ALIAS]
+            skip_storesets = True
+        for token, field_name, labelled in _FLAG_TOKENS:
+            if token == "storesets" and skip_storesets:
+                continue
+            if getattr(self, field_name) == labelled \
+                    and getattr(defaults, field_name) != labelled:
+                parts.append(token)
+        for token, field_name in _INT_TOKENS:
+            value = getattr(self, field_name)
+            if value != getattr(defaults, field_name):
+                parts.append(f"{token}{value}")
+        return "-".join(parts)
+
+    @classmethod
+    def from_label(cls, label: str) -> "SchemeConfig":
+        """Parse a canonical scheme label back into a configuration.
+
+        Inverse of :meth:`label`; unknown kinds or suffixes raise
+        :class:`~repro.errors.ConfigError` naming the offending token.
+        """
+        tokens = label.strip().split("-")
+        head, rest = tokens[0], tokens[1:]
+        fields: Dict[str, object] = {}
+        if head == _STORESETS_ALIAS:
+            fields["kind"] = "conventional"
+            fields["store_sets"] = True
+        elif head in ("conventional", "yla", "bloom", "dmdc", "garg", "value"):
+            fields["kind"] = head
+        else:
+            raise ConfigError(
+                f"unknown scheme label {label!r}: bad kind {head!r}")
+        flag_fields = {token: (field_name, labelled)
+                       for token, field_name, labelled in _FLAG_TOKENS}
+        for token in rest:
+            if token in flag_fields:
+                field_name, labelled = flag_fields[token]
+                fields[field_name] = labelled
+                continue
+            for prefix, field_name in _INT_TOKENS:
+                if token.startswith(prefix) and token[len(prefix):].isdigit():
+                    fields[field_name] = int(token[len(prefix):])
+                    break
+            else:
+                raise ConfigError(
+                    f"unknown scheme label {label!r}: bad suffix {token!r}")
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+#: Canonical labels of the nine-point scheme matrix every correctness and
+#: performance suite sweeps (one per implemented scheme family).
+SCHEME_LABELS: Tuple[str, ...] = (
+    "conventional",
+    "storesets",
+    "yla",
+    "bloom",
+    "dmdc",
+    "dmdc-local",
+    "dmdc-queue8",
+    "garg",
+    "value",
+)
+
+
+def scheme_matrix() -> Dict[str, SchemeConfig]:
+    """The canonical matrix, label -> config, built through the codec."""
+    return {label: SchemeConfig.from_label(label) for label in SCHEME_LABELS}
 
 
 @dataclass(frozen=True)

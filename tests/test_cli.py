@@ -12,9 +12,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_scheme_choices_enforced(self):
+    def test_scheme_labels_enforced(self, capsys):
+        # Validation now happens in the label codec, not argparse choices,
+        # so full labels like dmdc-local work and junk still exits.
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "gzip", "--scheme", "magic"])
+            main(["run", "gzip", "--scheme", "magic", "-n", "100"])
+        assert "bad kind" in capsys.readouterr().err
 
 
 class TestInformational:

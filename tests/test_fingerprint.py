@@ -1,0 +1,66 @@
+"""Source-fingerprint exclusion policy (cache-invalidation regression).
+
+PR 3 moved ``analysis.py`` into the ``analysis/`` package; until the
+exclusion list followed, every lint-rule or sanitizer edit rotated
+``simulator_fingerprint()`` and silently invalidated the entire disk
+cache.  These tests pin the policy on a copy of the real source tree:
+editing tooling must not move the fingerprint, editing the model must.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exec.request import _NON_SIMULATION_PARTS, fingerprint_tree
+
+
+@pytest.fixture
+def src_copy(tmp_path) -> Path:
+    root = tmp_path / "repro"
+    shutil.copytree(Path(repro.__file__).parent, root,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return root
+
+
+def _touch(root: Path, rel: str) -> None:
+    path = root / rel
+    assert path.exists(), f"expected {rel} in the source tree"
+    with path.open("a") as fh:
+        fh.write("\n# fingerprint regression probe\n")
+
+
+class TestExclusions:
+    def test_tooling_packages_are_excluded(self):
+        # The concrete regression: analysis/ (lint + sanitizer), perf/
+        # (bench harness), and service/ (HTTP daemon) are tooling around
+        # the simulator, not part of it.
+        for part in ("analysis", "perf", "service", "exec", "experiments"):
+            assert part in _NON_SIMULATION_PARTS
+        # The pre-PR-3 module name must not linger: it matches nothing.
+        assert "analysis.py" not in _NON_SIMULATION_PARTS
+
+    def test_editing_a_lint_rule_keeps_the_fingerprint(self, src_copy):
+        before = fingerprint_tree(src_copy)
+        _touch(src_copy, "analysis/lint/rules.py")
+        assert fingerprint_tree(src_copy) == before
+
+    def test_editing_sanitizer_bench_service_cli_keeps_the_fingerprint(
+            self, src_copy):
+        before = fingerprint_tree(src_copy)
+        for rel in ("analysis/sanitizer.py", "perf/bench.py",
+                    "service/server.py", "cli.py", "api.py"):
+            _touch(src_copy, rel)
+        assert fingerprint_tree(src_copy) == before
+
+    def test_editing_the_model_rotates_the_fingerprint(self, src_copy):
+        before = fingerprint_tree(src_copy)
+        _touch(src_copy, "sim/processor.py")
+        after = fingerprint_tree(src_copy)
+        assert after != before
+
+    def test_editing_core_scheme_rotates_the_fingerprint(self, src_copy):
+        before = fingerprint_tree(src_copy)
+        _touch(src_copy, "core/yla.py")
+        assert fingerprint_tree(src_copy) != before

@@ -1,0 +1,109 @@
+"""The canonical scheme-label codec: one grammar for CLI, matrix, bench.
+
+``SchemeConfig.label()`` / ``SchemeConfig.from_label()`` replaced three
+divergent copies of the label -> config mapping (CLI flag assembly,
+``sanitizer.SCHEME_MATRIX`` literals, bench scheme tuples).  These tests
+pin the grammar, prove the round-trip property over the whole config
+space, and check every consumer goes through the codec.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.config import SCHEME_LABELS, SchemeConfig, scheme_matrix
+
+KINDS = ("conventional", "yla", "bloom", "dmdc", "garg", "value")
+
+scheme_configs = st.builds(
+    SchemeConfig,
+    kind=st.sampled_from(KINDS),
+    yla_registers=st.sampled_from((1, 2, 4, 8, 16)),
+    yla_granularity=st.sampled_from((8, 64, 128)),
+    bloom_entries=st.sampled_from((64, 256, 1024)),
+    table_entries=st.sampled_from((None, 512, 2048)),
+    local=st.booleans(),
+    safe_loads=st.booleans(),
+    checking_queue_entries=st.sampled_from((None, 4, 8, 32)),
+    coherence=st.booleans(),
+    sq_filter=st.booleans(),
+    store_sets=st.booleans(),
+)
+
+
+class TestRoundTrip:
+    @given(scheme_configs)
+    def test_config_label_config_is_identity(self, config):
+        assert SchemeConfig.from_label(config.label()) == config
+
+    @given(scheme_configs)
+    def test_label_is_stable_under_reparse(self, config):
+        label = config.label()
+        assert SchemeConfig.from_label(label).label() == label
+
+    @pytest.mark.parametrize("label", SCHEME_LABELS)
+    def test_canonical_matrix_labels_round_trip(self, label):
+        assert SchemeConfig.from_label(label).label() == label
+
+
+class TestGrammar:
+    def test_storesets_alias(self):
+        assert SchemeConfig.from_label("storesets") == SchemeConfig(
+            kind="conventional", store_sets=True)
+        assert SchemeConfig(kind="conventional", store_sets=True).label() \
+            == "storesets"
+
+    def test_suffixes_decode(self):
+        assert SchemeConfig.from_label("dmdc-local").local is True
+        assert SchemeConfig.from_label("dmdc-queue8").checking_queue_entries == 8
+        assert SchemeConfig.from_label("yla-regs16").yla_registers == 16
+        assert SchemeConfig.from_label("bloom-entries256").bloom_entries == 256
+        assert SchemeConfig.from_label("dmdc-coherent").coherence is True
+        assert SchemeConfig.from_label("dmdc-nosafe").safe_loads is False
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="bad kind"):
+            SchemeConfig.from_label("quantum")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigError, match="bad suffix"):
+            SchemeConfig.from_label("dmdc-turbo")
+
+
+class TestConsumers:
+    def test_sanitizer_matrix_is_codec_built(self):
+        from repro.analysis.sanitizer import SCHEME_MATRIX
+        assert set(SCHEME_MATRIX) == set(SCHEME_LABELS)
+        for label, config in SCHEME_MATRIX.items():
+            assert config == SchemeConfig.from_label(label)
+            assert config.label() == label
+
+    def test_bench_schemes_are_codec_built(self):
+        from repro.perf.bench import FULL_SCHEMES, QUICK_SCHEMES
+        assert tuple(label for label, _ in FULL_SCHEMES) == SCHEME_LABELS
+        for label, config in FULL_SCHEMES + QUICK_SCHEMES:
+            assert config == SchemeConfig.from_label(label)
+
+    def test_cli_accepts_full_labels(self):
+        from repro.cli import _scheme_from_args, build_parser
+        args = build_parser().parse_args(["run", "gzip", "--scheme",
+                                          "dmdc-local"])
+        assert _scheme_from_args(args) == SchemeConfig.from_label("dmdc-local")
+
+    def test_cli_flags_overlay_the_label(self):
+        from repro.cli import _scheme_from_args, build_parser
+        args = build_parser().parse_args(
+            ["run", "gzip", "--scheme", "dmdc", "--checking-queue", "8"])
+        assert _scheme_from_args(args) == SchemeConfig.from_label("dmdc-queue8")
+
+    def test_cli_rejects_bad_label(self, capsys):
+        from repro.cli import _scheme_from_args, build_parser
+        args = build_parser().parse_args(["run", "gzip", "--scheme", "nope"])
+        with pytest.raises(SystemExit):
+            _scheme_from_args(args)
+        assert "bad kind" in capsys.readouterr().err
+
+    def test_matrix_helper_matches_labels(self):
+        matrix = scheme_matrix()
+        assert list(matrix) == list(SCHEME_LABELS)
