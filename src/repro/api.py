@@ -22,7 +22,11 @@ Verbs:
 * :func:`run` — one design point -> :class:`SimulationResult`;
 * :func:`sweep` — a (scheme x workload) grid in one deduplicated batch;
 * :func:`compare` — candidate vs baseline with the paper's energy verdict;
-* :func:`check` — the correctness tooling (lint + sanitizer) as data.
+* :func:`check` — the correctness tooling (lint + sanitizer) as data;
+* :func:`profile` — one design point with full observability attached
+  (cycle/structure attribution, replay sites, timeline); always
+  simulates — the event stream is a per-run observation, not a cacheable
+  result (see ``docs/observability.md``).
 """
 
 from dataclasses import dataclass
@@ -57,8 +61,8 @@ from repro.stats.report import format_table
 from repro.workloads import SUITE, SyntheticWorkload, WorkloadSpec, get_workload
 
 __all__ = [
-    # the four verbs
-    "run", "sweep", "compare", "check",
+    # the verbs
+    "run", "sweep", "compare", "check", "profile",
     # comparison report
     "CompareReport",
     # vocabulary types and helpers (stable re-exports)
@@ -294,6 +298,35 @@ def check(paths: Optional[Sequence[str]] = None,
         payload["sanitize"] = reports
     payload["ok"] = ok
     return payload
+
+
+def profile(workload: WorkloadLike,
+            scheme: SchemeLike = "dmdc",
+            config: ConfigLike = "config2",
+            *,
+            instructions: Optional[int] = None,
+            seed: int = 1,
+            overrides: Optional[Dict] = None,
+            ring_capacity: int = 4096,
+            jsonl_path: Optional[str] = None,
+            timeline_capacity: int = 256):
+    """Simulate one design point with the observability layer attached.
+
+    Returns a :class:`repro.obs.ProfileReport` bundling the (bit-identical)
+    :class:`SimulationResult`, the per-structure/per-stage attribution with
+    its counter reconciliation, and the recorder itself (event ring,
+    replay sites, timeline).  Unlike :func:`run` this always simulates —
+    the event stream is a per-run observation, not a cacheable artefact.
+    ``jsonl_path`` additionally streams every event to disk as JSONL.
+    """
+    from repro.obs.profile import profile_workload
+    machine = _as_machine(config, scheme, overrides)
+    budget = instructions if instructions is not None else instruction_budget()
+    spec = _as_workload(workload)
+    source = get_workload(spec) if isinstance(spec, str) else SyntheticWorkload(spec)
+    return profile_workload(machine, source, instructions=budget, seed=seed,
+                            ring_capacity=ring_capacity, jsonl_path=jsonl_path,
+                            timeline_capacity=timeline_capacity)
 
 
 # -- advanced ------------------------------------------------------------

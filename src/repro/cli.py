@@ -19,6 +19,11 @@ Commands:
     Generate, save, load, and inspect binary traces.
 ``timeline``
     Render an ASCII pipeline timeline of the first N instructions.
+``profile``
+    Run one workload with full observability attached and print the
+    cycle/structure attribution report, top replay sites, and a recent
+    pipeline timeline; exits non-zero if the event-derived attribution
+    fails to reconcile with the counter totals (``docs/observability.md``).
 ``bench``
     Measure simulator throughput (committed instructions per second) for
     every scheme over a fixed workload mix; write ``BENCH_simulator.json``.
@@ -423,6 +428,35 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.obs.profile import profile_workload
+
+    config = _configured(args)
+    instructions = min(args.instructions, 4_000) if args.quick else args.instructions
+    report = profile_workload(
+        config, get_workload(args.workload),
+        instructions=instructions, seed=args.seed,
+        ring_capacity=args.events, jsonl_path=args.jsonl,
+        timeline_capacity=max(args.rows * 4, 64))
+    if args.json:
+        json.dump(report.to_dict(include_events=args.dump_events),
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(report.render(top=args.top, timeline_rows=args.rows,
+                            timeline_width=args.width))
+    if args.jsonl:
+        print(f"wrote {report.recorder.events_emitted} events to {args.jsonl}",
+              file=sys.stderr)
+    if not report.ok:
+        for line in report.attribution.mismatches():
+            print(f"profile: reconciliation mismatch {line.name}: "
+                  f"events={line.from_events} counters={line.from_counters}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -476,6 +510,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheme_args(p)
     p.add_argument("--rows", type=int, default=32)
     p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser(
+        "profile", help="cycle/structure attribution profile of one run")
+    p.add_argument("workload")
+    _add_scheme_args(p)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: cap the budget at 4000 instructions")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="replay sites to list (default %(default)s)")
+    p.add_argument("--rows", type=int, default=24,
+                   help="timeline rows (default %(default)s)")
+    p.add_argument("--width", type=int, default=100,
+                   help="timeline width in cycles (default %(default)s)")
+    p.add_argument("--events", type=int, default=4096, metavar="N",
+                   help="in-memory event ring capacity (default %(default)s)")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="also append every event to FILE as JSON lines")
+    p.add_argument("--json", action="store_true",
+                   help="emit the attribution report as JSON")
+    p.add_argument("--dump-events", action="store_true",
+                   help="with --json, include the retained event ring")
 
     p = sub.add_parser(
         "check", help="lint pass + shadow-oracle sanitizer")
@@ -552,6 +607,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "report": cmd_report,
     "timeline": cmd_timeline,
+    "profile": cmd_profile,
     "bench": cmd_bench,
     "check": cmd_check,
     "serve": cmd_serve,

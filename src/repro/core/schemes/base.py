@@ -71,6 +71,12 @@ class CheckScheme:
         self.window_loads = Histogram()
         self.window_safe_loads = Histogram()
         self.window_unsafe_stores = Histogram()
+        #: Optional scheme-event observer (an
+        #: :class:`~repro.obs.recorder.ObservabilityRecorder`).  Emit
+        #: sites guard with ``is None`` so observability is zero-cost
+        #: when off; the recorder receives filter classifications and
+        #: checking-window/table activity as typed events.
+        self.obs = None
 
     # -- execution-time hooks -------------------------------------------
     def on_load_issue(self, load: DynInstr, cycle: int) -> Optional[DynInstr]:

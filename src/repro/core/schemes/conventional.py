@@ -53,7 +53,11 @@ class ConventionalScheme(CheckScheme):
             # exports it as ``lq.searches_filtered`` when building the
             # result (bumping scheme stats here as well double-counted it).
             self.lq.searches_filtered += 1
+            if self.obs is not None:
+                self.obs.store_classified(store, True, cycle)
             return None
+        if self.obs is not None:
+            self.obs.store_classified(store, False, cycle)
         self.stats.bump("lq.searches")
         victim = self.lq.search_younger_issued(store)
         if victim is not None:

@@ -136,8 +136,12 @@ class DmdcScheme(CheckScheme):
         )
         if word_safe or line_safe:
             self.stats.bump("stores.safe")
+            if self.obs is not None:
+                self.obs.store_classified(store, True, cycle)
             return None
         self.stats.bump("stores.unsafe")
+        if self.obs is not None:
+            self.obs.store_classified(store, False, cycle)
         store.unsafe_store = True
         boundary = self.yla.youngest_for(store.addr)
         if self.yla_line is not None:
@@ -178,10 +182,15 @@ class DmdcScheme(CheckScheme):
             self._w_safe_loads = 0
             self._w_unsafe_stores = 0
             self.stats.bump("windows.opened")
+            if self.obs is not None:
+                self.obs.window_opened(cycle)
 
     def _terminate(self, cycle: int) -> None:
         self.stats.bump("windows.closed")
         self.stats.bump("checking.cycles", max(1, cycle - self._activation_cycle + 1))
+        if self.obs is not None:
+            self.obs.window_closed(cycle, self._w_instrs, self._w_loads,
+                                   self._w_unsafe_stores)
         self.window_instrs.add(self._w_instrs)
         self.window_loads.add(self._w_loads)
         self.window_safe_loads.add(self._w_safe_loads)
@@ -221,6 +230,8 @@ class DmdcScheme(CheckScheme):
         self._activate(cycle)
         self._w_unsafe_stores += 1
         self.stats.bump("stores.unsafe_committed")
+        if self.obs is not None:
+            self.obs.table_marked(store, cycle)
         if self.table is not None:
             index = self.table.mark_store(store.addr, store.size)
             self._marked_stores.append(_MarkedStore(store, index))
@@ -251,6 +262,8 @@ class DmdcScheme(CheckScheme):
             hit = outcome == CheckingTable.WRT_HIT
         else:
             hit = self.queue.check_load(load.addr, load.size) is not None
+        if self.obs is not None:
+            self.obs.table_probed(load, hit, cycle)
         if not hit:
             return CommitDecision.OK
         self._classify_replay(load)

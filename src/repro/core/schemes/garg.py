@@ -94,7 +94,11 @@ class GargAgeHashScheme(CheckScheme):
         youngest = self.table.youngest_for(store.addr)
         if youngest <= store.seq:
             self.stats.bump("stores.safe")
+            if self.obs is not None:
+                self.obs.store_classified(store, True, cycle)
             return None
+        if self.obs is not None:
+            self.obs.store_classified(store, False, cycle)
         # Possible premature load somewhere younger: flush from the first
         # instruction after the store (the table cannot name the load).
         for entry in self._rob:

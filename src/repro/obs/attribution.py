@@ -1,0 +1,210 @@
+"""Per-structure attribution, reconciled exactly against the counters.
+
+The recorder accumulates everything from *events*; the simulation result
+carries the pipeline's own :class:`~repro.stats.counters.CounterSet`.
+:func:`build_attribution` derives the "where did the cycles go" report
+from the event side and then checks, line by line, that every
+event-derived total equals the corresponding counter total — an exact
+integer reconciliation, not a tolerance check.  A mismatch means an
+event seam is missing or double-firing, which is precisely the bug class
+this layer exists to catch (the profile CLI exits non-zero on it).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple
+
+from repro.obs.recorder import CYCLE_BUCKETS, ObservabilityRecorder
+from repro.sim.result import SimulationResult
+from repro.stats.report import format_table
+
+
+class ReconLine(NamedTuple):
+    """One reconciliation identity: events-derived vs counter-derived."""
+
+    name: str
+    from_events: int
+    from_counters: int
+
+    @property
+    def ok(self) -> bool:
+        return self.from_events == self.from_counters
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "from_events": self.from_events,
+                "from_counters": self.from_counters, "ok": self.ok}
+
+
+@dataclass
+class AttributionReport:
+    """Cycle, occupancy, and replay attribution for one run."""
+
+    workload: str
+    scheme: str
+    cycles: int
+    committed: int
+    #: Cycle partition over CYCLE_BUCKETS; sums exactly to ``cycles``.
+    cycle_buckets: Dict[str, int] = field(default_factory=dict)
+    #: Per-structure occupancy/throughput accounting (rob/lq/sq/checking).
+    structures: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Replay totals: overall, by detection site, by verdict, by cause.
+    replays: Dict[str, object] = field(default_factory=dict)
+    #: The exact event-vs-counter identities checked for this run.
+    reconciliation: List[ReconLine] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every reconciliation line holds exactly."""
+        return all(line.ok for line in self.reconciliation)
+
+    def mismatches(self) -> List[ReconLine]:
+        return [line for line in self.reconciliation if not line.ok]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "cycle_buckets": dict(self.cycle_buckets),
+            "structures": {k: dict(v) for k, v in self.structures.items()},
+            "replays": dict(self.replays),
+            "reconciliation": [line.to_dict() for line in self.reconciliation],
+            "ok": self.ok,
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def render(self) -> str:
+        lines = [f"{self.workload} under {self.scheme}: "
+                 f"{self.committed} instructions in {self.cycles} cycles "
+                 f"(IPC {self.committed / self.cycles:.3f})"
+                 if self.cycles else
+                 f"{self.workload} under {self.scheme}: empty run"]
+        rows = []
+        for bucket in CYCLE_BUCKETS:
+            count = self.cycle_buckets.get(bucket, 0)
+            share = count / self.cycles if self.cycles else 0.0
+            rows.append([bucket, count, f"{share:.1%}"])
+        lines.append(format_table(["cycles went to", "cycles", "share"], rows,
+                                  title="Cycle attribution"))
+        rows = []
+        for name, stats in self.structures.items():
+            rows.append([
+                name,
+                f"{stats.get('occupancy_mean', 0.0):.2f}",
+                stats.get("retired", ""),
+                stats.get("squashed", ""),
+            ])
+        lines.append(format_table(
+            ["structure", "mean occupancy", "retired", "squashed"], rows,
+            title="Structure occupancy"))
+        by_cause = self.replays.get("by_cause", {})
+        if by_cause:
+            rows = [[cause, count] for cause, count in sorted(by_cause.items())]
+            lines.append(format_table(["replay cause (site:verdict)", "count"],
+                                      rows, title="Replay breakdown"))
+        else:
+            lines.append("replays: none")
+        status = "OK" if self.ok else "MISMATCH"
+        rows = [[line.name, line.from_events, line.from_counters,
+                 "ok" if line.ok else "MISMATCH"]
+                for line in self.reconciliation]
+        lines.append(format_table(
+            ["identity", "from events", "from counters", ""], rows,
+            title=f"Counter reconciliation: {status}"))
+        return "\n\n".join(lines)
+
+
+def build_attribution(recorder: ObservabilityRecorder,
+                      result: SimulationResult) -> AttributionReport:
+    """Derive the attribution report and reconcile it with ``result``.
+
+    ``recorder`` must have observed the run that produced ``result`` from
+    cycle zero; :meth:`ObservabilityRecorder.finish` is called here if the
+    caller has not already done so.
+    """
+    recorder.finish(result.cycles)
+    c = result.counters
+    counts = recorder.pipeline_counts
+    cycles = result.cycles
+
+    structures: Dict[str, Dict[str, object]] = {
+        "rob": {
+            "occupancy_mean": recorder.rob_residency / cycles if cycles else 0.0,
+            "residency_cycles": recorder.rob_residency,
+            "retired": recorder.rob_retired,
+            "squashed": recorder.rob_squashed,
+        },
+        "lq": {
+            "occupancy_mean": recorder.lq_residency / cycles if cycles else 0.0,
+            "residency_cycles": recorder.lq_residency,
+            "retired": recorder.lq_retired,
+            "squashed": recorder.lq_squashed,
+        },
+        "sq": {
+            "occupancy_mean": recorder.sq_residency / cycles if cycles else 0.0,
+            "residency_cycles": recorder.sq_residency,
+            "retired": recorder.sq_retired,
+            "squashed": recorder.sq_squashed,
+        },
+        "checking_table": {
+            "occupancy_mean": (recorder.window_cycles / cycles
+                               if cycles else 0.0),
+            "window_cycles": recorder.window_cycles,
+            "retired": recorder.table_marks,      # entries marked
+            "squashed": recorder.table_probe_hits,  # probes that hit -> replay
+        },
+    }
+
+    replays: Dict[str, object] = {
+        "total": recorder.replay_total,
+        "by_site": dict(recorder.replays_by_site),
+        "by_verdict": dict(recorder.replays_by_verdict),
+        "by_cause": dict(recorder.replays_by_cause),
+    }
+
+    recon = [
+        ReconLine("fetch.events", counts["fetch"], c["fetch.instructions"]),
+        ReconLine("dispatch.events", counts["dispatch"], c["rename.ops"]),
+        ReconLine("dispatch.loads", recorder.dispatch_loads, c["lq.writes"]),
+        ReconLine("dispatch.stores", recorder.dispatch_stores, c["sq.writes"]),
+        ReconLine("issue.events", counts["issue"],
+                  c["issue.instructions"] + c["issue.loads"] + c["issue.stores"]),
+        ReconLine("reject.events", counts["reject"], c["load.rejections"]),
+        ReconLine("commit.events", counts["commit"], c["commit.instructions"]),
+        ReconLine("squash.events", counts["squash"], c["squash.instructions"]),
+        ReconLine("replay.events", recorder.replay_total, c["replays"]),
+        ReconLine("replay.commit_time", recorder.replays_by_site["commit"],
+                  c["replays.commit_time"]),
+        ReconLine("replay.execution_time",
+                  recorder.replays_by_site["execution"],
+                  c["replays.execution_time"]),
+        ReconLine("replay.coherence", recorder.replays_by_site["coherence"],
+                  c["replays.coherence"]),
+        ReconLine("stores.classified",
+                  recorder.stores_safe + recorder.stores_unsafe,
+                  c["stores.resolved"]),
+        ReconLine("stores.filter_safe", recorder.stores_safe, c["stores.safe"]),
+        ReconLine("windows.opened", recorder.windows_opened,
+                  c["windows.opened"]),
+        ReconLine("windows.closed", recorder.windows_closed,
+                  c["windows.closed"]),
+        ReconLine("window.cycles", recorder.window_cycles,
+                  c["checking.cycles"]),
+        ReconLine("table.marks", recorder.table_marks,
+                  c["stores.unsafe_committed"]),
+        ReconLine("table.probes", recorder.table_probes,
+                  c["loads.checked"] - c["replay.overflow"]),
+        ReconLine("cycles.partitioned",
+                  sum(recorder.cycle_buckets.values()), c["cycles"]),
+    ]
+
+    return AttributionReport(
+        workload=result.workload,
+        scheme=result.scheme_name,
+        cycles=cycles,
+        committed=result.committed,
+        cycle_buckets=dict(recorder.cycle_buckets),
+        structures=structures,
+        replays=replays,
+        reconciliation=recon,
+    )

@@ -14,7 +14,16 @@ Methodology (see ``docs/performance.md``):
   warm-up run that settles the interpreter;
 * the figure of merit per scheme is total committed instructions divided
   by total simulated seconds across the mix (a weighted harmonic mean of
-  the per-workload rates, so slow workloads are not averaged away).
+  the per-workload rates, so slow workloads are not averaged away);
+* every row is a **fresh simulation** — the bench never consults the
+  execution engine's result cache, so throughput can never be inflated
+  by cache hits — and the payload records the effective performance
+  knobs (fast path, ``REPRO_PARALLEL``, cache enablement) because the
+  numbers are meaningless without that provenance.
+
+``aggregate_instr_per_sec`` stays sim-time-only (the tracked figure);
+``aggregate_instr_per_sec_wall`` divides by true wall time including
+trace generation and prewarm, for capacity planning.
 """
 
 import json
@@ -73,6 +82,26 @@ def _machine_info() -> Dict:
     }
 
 
+def _effective_knobs() -> Dict:
+    """Provenance: every performance knob in effect for this run.
+
+    The bench itself runs processors directly (no engine, no cache), but
+    a payload compared against engine-driven numbers needs the engine's
+    effective settings on record too.
+    """
+    from repro.exec.options import CACHE_ENABLE_ENV, PARALLEL_ENV, EngineOptions
+
+    options = EngineOptions.from_env()
+    tracked = (NO_FASTPATH_ENV, PARALLEL_ENV, CACHE_ENABLE_ENV)
+    return {
+        "fastpath_enabled": not bool(os.environ.get(NO_FASTPATH_ENV)),
+        "engine_cache_enabled": options.cache_enabled,
+        "engine_workers": options.resolve_workers(),
+        "env": {name: os.environ[name] for name in tracked
+                if os.environ.get(name) is not None},
+    }
+
+
 def _bench_one(config: MachineConfig, trace, budget: int, seed: int) -> Dict:
     processor = Processor(config, trace, seed=seed)
     processor.prewarm()
@@ -82,8 +111,14 @@ def _bench_one(config: MachineConfig, trace, budget: int, seed: int) -> Dict:
         "instructions": result.committed,
         "cycles": total_cycles,
         "sim_seconds": result.sim_seconds,
+        # instructions_per_second already guards sim_seconds <= 0 (a
+        # clock too coarse to resolve the run) by answering 0.0.
         "instr_per_sec": result.instructions_per_second,
         "ipc": result.ipc,
+        # Effective per-row, not just the global env flag: a future
+        # tracer/hook user of this helper would silently lose the fast
+        # path, and the row must say so.
+        "fastpath_enabled": processor.fastpath_enabled,
         "fast_forwarded_cycles": processor.fast_forwarded_cycles,
         "fast_forward_fraction": (
             processor.fast_forwarded_cycles / total_cycles if total_cycles else 0.0
@@ -125,6 +160,7 @@ def run_bench(
         total_instr = 0
         total_cycles = 0
         total_seconds = 0.0
+        scheme_wall_start = time.perf_counter()
         for name in mix:
             row = _bench_one(config, traces[name], budget, seed)
             per_workload[name] = row
@@ -133,18 +169,22 @@ def run_bench(
             total_seconds += row["sim_seconds"]
             if progress is not None:
                 progress(f"{label:12s} {name:8s} {row['instr_per_sec']:>10.0f} instr/s")
+        scheme_wall = time.perf_counter() - scheme_wall_start
         scheme_rows[label] = {
             "instructions": total_instr,
             "cycles": total_cycles,
             "sim_seconds": total_seconds,
+            "wall_seconds": scheme_wall,
             "instr_per_sec": total_instr / total_seconds if total_seconds else 0.0,
+            "wall_instr_per_sec": total_instr / scheme_wall if scheme_wall else 0.0,
             "per_workload": per_workload,
         }
 
     agg_instr = sum(r["instructions"] for r in scheme_rows.values())
     agg_seconds = sum(r["sim_seconds"] for r in scheme_rows.values())
+    wall_seconds = time.perf_counter() - wall_start
     return {
-        "schema": 1,
+        "schema": 2,
         "kind": "simulator-throughput",
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
@@ -155,9 +195,14 @@ def run_bench(
         "quick": quick,
         "workloads": list(mix),
         "fastpath_enabled": not bool(os.environ.get(NO_FASTPATH_ENV)),
-        "wall_seconds": time.perf_counter() - wall_start,
+        "knobs": _effective_knobs(),
+        "wall_seconds": wall_seconds,
         "schemes": scheme_rows,
         "aggregate_instr_per_sec": agg_instr / agg_seconds if agg_seconds else 0.0,
+        # Honest end-to-end rate over wall time (trace generation and
+        # prewarm included) — no cache to hide behind, by construction.
+        "aggregate_instr_per_sec_wall": (
+            agg_instr / wall_seconds if wall_seconds else 0.0),
     }
 
 
@@ -173,9 +218,11 @@ def validate_payload(payload: Dict) -> List[str]:
     """Sanity-check a benchmark payload; return a list of problems (CI)."""
     problems = []
     for key in ("schema", "git_sha", "machine", "workloads", "schemes",
-                "aggregate_instr_per_sec", "instructions_per_run"):
+                "aggregate_instr_per_sec", "instructions_per_run", "knobs"):
         if key not in payload:
             problems.append(f"missing key: {key}")
+    if "knobs" in payload and "fastpath_enabled" not in payload["knobs"]:
+        problems.append("knobs missing fastpath_enabled provenance")
     for label, row in payload.get("schemes", {}).items():
         if row.get("instructions", 0) <= 0:
             problems.append(f"scheme {label}: no instructions committed")
@@ -183,4 +230,12 @@ def validate_payload(payload: Dict) -> List[str]:
             problems.append(f"scheme {label}: non-positive throughput")
         if not row.get("per_workload"):
             problems.append(f"scheme {label}: missing per-workload rows")
+        for name, sub in (row.get("per_workload") or {}).items():
+            if sub.get("sim_seconds", 0) <= 0:
+                problems.append(
+                    f"scheme {label}/{name}: sim_seconds not resolved "
+                    "(clock too coarse?)")
+            if "fastpath_enabled" not in sub:
+                problems.append(
+                    f"scheme {label}/{name}: missing fastpath provenance")
     return problems

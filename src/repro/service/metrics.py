@@ -1,4 +1,4 @@
-"""Service observability: thread-safe counters, batch shape, latencies.
+"""Service observability: counters, batch shape, latencies, simulator gauges.
 
 One :class:`ServiceMetrics` instance is shared by the admission path
 (HTTP handler threads) and the batching thread; every mutation happens
@@ -20,10 +20,17 @@ BATCH_RESERVOIR = 512
 PERCENTILES = (50, 90, 99)
 
 
-def percentile(samples: List[float], pct: float) -> float:
-    """Nearest-rank percentile of ``samples`` (which may be unsorted)."""
+def percentile(samples: List[float], pct: float) -> Optional[float]:
+    """Nearest-rank percentile of ``samples`` (which may be unsorted).
+
+    Returns ``None`` when there are no samples — ``/metrics`` renders that
+    as JSON ``null`` rather than a fake 0.0 latency while the first
+    request is still in flight.  ``pct`` is clamped to [0, 100]: 0 is the
+    minimum, 100 the maximum.
+    """
     if not samples:
-        return 0.0
+        return None
+    pct = max(0.0, min(100.0, pct))
     ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1,
                       math.ceil(pct / 100.0 * len(ordered)) - 1))
@@ -50,6 +57,14 @@ class ServiceMetrics:
         self.max_batch = 0
         self._batch_sizes: Deque[int] = deque(maxlen=BATCH_RESERVOIR)
         self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        # Simulator gauges, folded from every result the service returned
+        # (cache hits included: the client received those cycles too).
+        self.sim_runs = 0
+        self.sim_instructions = 0
+        self.sim_cycles = 0
+        self.sim_replays = 0
+        self.traced_runs = 0
+        self.traced_events = 0
 
     # -- recording -------------------------------------------------------
     def admitted(self, coalesced: bool) -> None:
@@ -85,6 +100,18 @@ class ServiceMetrics:
             self.max_batch = max(self.max_batch, size)
             self._batch_sizes.append(size)
 
+    def observe_simulation(self, result, traced: bool = False,
+                           events: int = 0) -> None:
+        """Fold one returned :class:`SimulationResult` into the gauges."""
+        with self._lock:
+            self.sim_runs += 1
+            self.sim_instructions += result.committed
+            self.sim_cycles += result.cycles
+            self.sim_replays += int(result.counters["replays"])
+            if traced:
+                self.traced_runs += 1
+                self.traced_events += events
+
     # -- reporting -------------------------------------------------------
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
                  engine_stats: Optional[Dict[str, float]] = None,
@@ -106,6 +133,16 @@ class ServiceMetrics:
                 "in_flight": in_flight,
                 "draining": draining,
             }
+            simulator: Dict[str, object] = {
+                "runs": self.sim_runs,
+                "instructions": self.sim_instructions,
+                "cycles": self.sim_cycles,
+                "replays": self.sim_replays,
+                "mean_ipc": (self.sim_instructions / self.sim_cycles
+                             if self.sim_cycles else 0.0),
+                "traced_runs": self.traced_runs,
+                "traced_events": self.traced_events,
+            }
         batching: Dict[str, object] = {
             "batches": self.batches,
             "max_batch": self.max_batch,
@@ -121,6 +158,7 @@ class ServiceMetrics:
             "service": service,
             "batching": batching,
             "latency": latency,
+            "simulator": simulator,
         }
         if engine_stats is not None:
             payload["engine"] = dict(engine_stats)

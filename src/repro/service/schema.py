@@ -14,8 +14,13 @@ A run payload::
       "config":   "config2",                                    # config1|config2|config3
       "overrides": {"lq_size": 48, ...},                        # machine-field overrides
       "instructions": 12000,                                    # aka "budget"
-      "seed": 1
+      "seed": 1,
+      "trace": true                                             # /run only: attach observability
     }
+
+``trace`` is stripped by :func:`parse_trace_flag` before the rest of the
+payload is normalized; it is only honoured on ``POST /run`` (a traced
+point always simulates, so sweeps — whose value is dedup — reject it).
 
 Scheme strings go through the canonical label codec
 (:meth:`SchemeConfig.from_label`), so the service speaks exactly the
@@ -104,6 +109,20 @@ def _parse_int(payload: Dict, key: str, default: int,
     if not lo <= value <= hi:
         raise SchemaError(f"{key} must be in [{lo}, {hi}], got {value}")
     return value
+
+
+def parse_trace_flag(payload: object) -> bool:
+    """Pop and validate the opt-in ``trace`` flag of a ``/run`` payload.
+
+    Mutates ``payload`` (removing the key) so the remainder parses with
+    :func:`parse_run_payload`, which deliberately does not know ``trace``:
+    a sweep point carrying it fails as an unknown field.
+    """
+    body = _require_mapping(payload, "run payload")
+    flag = body.pop("trace", False)
+    if not isinstance(flag, bool):
+        raise SchemaError("'trace' must be a boolean")
+    return flag
 
 
 def parse_run_payload(payload: object,

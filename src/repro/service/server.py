@@ -7,10 +7,13 @@ micro-batching queue (:mod:`repro.service.batcher`), and blocks on the
 shared ticket.  Endpoints:
 
 ========================  =====================================================
-``POST /run``             one design point -> summary (``?counters=1`` for all)
+``POST /run``             one design point -> summary (``?counters=1`` for all;
+                          ``"trace": true`` attaches the observability layer
+                          and adds a ``trace`` digest to the response)
 ``POST /sweep``           ``{"points": [...], "defaults": {...}}`` -> list
 ``GET /experiment/<id>``  re-render one paper artifact through the engine
-``GET /metrics``          queue depth, batch shape, dedup/cache rates, latency
+``GET /metrics``          queue depth, batch shape, dedup/cache rates, latency,
+                          simulator gauges (instructions/cycles/replays served)
 ``GET /healthz``          200 ok / 503 draining
 ========================  =====================================================
 
@@ -36,7 +39,12 @@ from repro.exec.engine import ExecutionEngine, set_engine, use_engine
 from repro.exec.options import EngineOptions
 from repro.service.batcher import Draining, MicroBatcher, ResultTimeout, Saturated
 from repro.service.metrics import ServiceMetrics
-from repro.service.schema import SchemaError, describe_result, parse_run_payload
+from repro.service.schema import (
+    SchemaError,
+    describe_result,
+    parse_run_payload,
+    parse_trace_flag,
+)
 
 #: Hard cap on request body size (a sweep of ~4k explicit spec points).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -219,9 +227,30 @@ class RequestHandler(BaseHTTPRequestHandler):
         return flag in ("1", "true", "yes")
 
     def _post_run(self, query: Dict[str, List[str]]) -> None:
-        request = parse_run_payload(self._read_json_body())
+        body = self._read_json_body()
+        trace = parse_trace_flag(body)
+        request = parse_run_payload(body)
+        if trace:
+            # A traced point always simulates (the event stream is a
+            # per-run observation, never cached), so it runs as a direct
+            # call on the batching thread — the one thread that may touch
+            # the engine's machinery — like ``GET /experiment/<id>``.
+            from repro.obs.profile import profile_request
+
+            ticket = self.server.batcher.call(lambda: profile_request(request))
+            result, digest = ticket.result(
+                timeout=self.server.config.request_timeout)
+            payload = describe_result(request, result,
+                                      counters=self._want_counters(query))
+            payload["trace"] = digest
+            self.server.metrics.observe_simulation(
+                result, traced=True,
+                events=int(digest.get("events_emitted", 0)))
+            self._reply(200, payload)
+            return
         ticket = self.server.batcher.submit(request)
         result = ticket.result(timeout=self.server.config.request_timeout)
+        self.server.metrics.observe_simulation(result)
         self._reply(200, describe_result(request, result,
                                          counters=self._want_counters(query)))
 
@@ -239,14 +268,21 @@ class RequestHandler(BaseHTTPRequestHandler):
             raise SchemaError(
                 f"sweep of {len(points)} points over the {MAX_SWEEP_POINTS} "
                 f"cap; split it")
+        if "trace" in defaults or any(isinstance(point, dict) and "trace" in point
+                                      for point in points):
+            raise SchemaError(
+                "'trace' is only supported on POST /run — a traced point "
+                "always simulates, which defeats sweep deduplication")
         requests = [parse_run_payload(point, defaults) for point in points]
         tickets = self.server.batcher.submit_many(requests)
         timeout = self.server.config.request_timeout
         counters = self._want_counters(query)
+        completed = [ticket.result(timeout=timeout) for ticket in tickets]
+        for result in completed:
+            self.server.metrics.observe_simulation(result)
         results = [
-            describe_result(request, ticket.result(timeout=timeout),
-                            counters=counters)
-            for request, ticket in zip(requests, tickets)
+            describe_result(request, result, counters=counters)
+            for request, result in zip(requests, completed)
         ]
         self._reply(200, {"points": results, "count": len(results)})
 

@@ -55,22 +55,40 @@ class PipelineTracer:
         self._instrs: Dict[int, TracedInstr] = {}
         self._order: List[int] = []
         self.events_recorded = 0
+        #: Highest sequence number ever evicted from the ring.  New rows
+        #: are created in increasing-seq order (the first event of every
+        #: dynamic instruction is its fetch), so any absent seq at or
+        #: below this mark was evicted — late events for it (a squash or
+        #: completion arriving after eviction) must be dropped rather
+        #: than resurrecting a partial row out of order.
+        self._evicted_through = -1
 
     # -- recording --------------------------------------------------------
     def record(self, kind: str, instr, cycle: int) -> None:
-        """Record one event for a dynamic instruction."""
-        entry = self._instrs.get(instr.seq)
+        """Record one event for a dynamic instruction.
+
+        Events for instructions already evicted from the ring (and every
+        event when ``capacity <= 0``) are counted but not retained, so
+        :meth:`instr`/:meth:`latency` answer ``None`` for evicted rows
+        instead of returning stale partial ones.
+        """
+        self.events_recorded += 1
+        seq = instr.seq
+        entry = self._instrs.get(seq)
         if entry is None:
-            entry = TracedInstr(instr.seq, instr.trace_idx, instr.uop.cls.name)
-            self._instrs[instr.seq] = entry
-            self._order.append(instr.seq)
+            if self.capacity <= 0 or seq <= self._evicted_through:
+                return
+            entry = TracedInstr(seq, instr.trace_idx, instr.uop.cls.name)
+            self._instrs[seq] = entry
+            self._order.append(seq)
             if len(self._order) > self.capacity:
                 dropped = self._order.pop(0)
                 self._instrs.pop(dropped, None)
+                if dropped > self._evicted_through:
+                    self._evicted_through = dropped
         entry.events.append((cycle, kind))
         if kind == "squash":
             entry.squashed = True
-        self.events_recorded += 1
 
     # -- queries ----------------------------------------------------------
     def __len__(self) -> int:
@@ -99,10 +117,13 @@ class PipelineTracer:
         """ASCII pipeline chart: rows are instructions, columns cycles."""
         rows = [e for e in self.instructions()
                 if first_seq is None or e.seq >= first_seq][:max_rows]
-        if not rows:
+        # An evicted window (first_seq below everything retained, or the
+        # whole requested range dropped) renders as empty, never raises.
+        cells = [c for e in rows for c, _ in e.events]
+        if not cells:
             return "(no traced instructions)"
-        start = min(c for e in rows for c, _ in e.events)
-        end = max(c for e in rows for c, _ in e.events)
+        start = min(cells)
+        end = max(cells)
         width = min(end - start + 1, max_width)
         lines = [f"cycles {start}..{start + width - 1}"]
         for entry in rows:

@@ -193,6 +193,11 @@ class Processor:
         self._fu_latency_by_cls = self.fus.latency_by_cls
         #: Optional PipelineTracer; when set, every pipeline event is recorded.
         self.tracer = None
+        #: Optional replay-cause observer (an
+        #: :class:`~repro.obs.recorder.ObservabilityRecorder`): when set,
+        #: every replay is reported with its detection site.  Like the
+        #: tracer, the seam is an ``is None`` test — zero cost when off.
+        self.obs = None
         #: Attached observers (sanitizers, probes).  Any entry — like a
         #: tracer — disables the event-horizon cycle skipper: hooks observe
         #: per-event state and must never run under skipped cycles
@@ -204,9 +209,31 @@ class Processor:
 
         The only seam for attaching sanitizers/probes: registration is what
         turns the cycle skipper off, so a hook attached any other way would
-        silently miss skipped cycles.
+        silently miss skipped cycles.  Attaching the same hook twice keeps
+        one registration per call, but the skipper gate is membership-based
+        (``not self._hooks``), so any number of hooks disables it exactly
+        once and detaching the last one restores it.
         """
         self._hooks.append(hook)
+
+    def detach_hook(self, hook: object) -> None:
+        """Remove one previously attached observer.
+
+        Once the last hook is detached (and no tracer is set) the
+        event-horizon cycle skipper resumes — the gate in :meth:`step`
+        re-evaluates ``self._hooks`` every cycle.
+        """
+        self._hooks.remove(hook)
+
+    @property
+    def fastpath_enabled(self) -> bool:
+        """True when the idle-cycle skipper may currently run.
+
+        Mirrors the gate in :meth:`step`: the env/injector switch set at
+        construction, no tracer, and no attached hooks.  Diagnostic —
+        bench provenance and the hook-interaction tests read it.
+        """
+        return self._fastpath and self.tracer is None and not self._hooks
 
     # ==================================================================
     # Public driver
@@ -440,6 +467,8 @@ class Processor:
                 self.hot.replays_commit_time += 1
                 if self.tracer is not None:
                     self.tracer.record("replay", head, cycle)
+                if self.obs is not None:
+                    self.obs.replay(head, "commit", cycle)
                 self._squash_from(head)
                 return
             if head.is_load and head.true_violation_store >= 0:
@@ -649,6 +678,10 @@ class Processor:
         if victim is not None and not victim.squashed:
             hot.replays += 1
             hot.replays_execution_time += 1
+            if self.tracer is not None:
+                self.tracer.record("replay", victim, self.cycle)
+            if self.obs is not None:
+                self.obs.replay(victim, "execution", self.cycle)
             self._squash_from(victim)
 
     def _ground_truth_store_resolve(self, store: DynInstr) -> None:
@@ -760,6 +793,10 @@ class Processor:
         if victim is not None and not victim.squashed:
             hot.replays += 1
             hot.replays_coherence += 1
+            if self.tracer is not None:
+                self.tracer.record("replay", victim, self.cycle)
+            if self.obs is not None:
+                self.obs.replay(victim, "coherence", self.cycle)
             self._squash_from(victim)
         return True, ports_left
 

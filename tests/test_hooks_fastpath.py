@@ -61,6 +61,52 @@ def test_sanitizer_disables_skipping(monkeypatch):
     assert proc.fast_forwarded_cycles == 0
 
 
+def test_detach_last_hook_restores_skipping(monkeypatch):
+    """The gate is membership-based: any number of hooks disables the
+    skipper exactly once, and detaching the last one restores it."""
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc = _processor()
+    first, second = object(), object()
+    assert proc.fastpath_enabled
+    proc.attach_hook(first)
+    proc.attach_hook(second)
+    assert not proc.fastpath_enabled
+    proc.detach_hook(first)
+    assert not proc.fastpath_enabled  # one hook still attached
+    proc.detach_hook(second)
+    assert proc.fastpath_enabled
+    proc, _ = _run(proc)
+    assert proc.fast_forwarded_cycles > 0
+
+
+def test_observer_recorder_disables_skipping(monkeypatch):
+    """The observability recorder rides the same hook seam, so attaching
+    it must disable the skipper like a tracer/sanitizer — and detaching
+    it must bring the fast path back."""
+    from repro.obs import attach_observer, detach_observer
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    proc = _processor()
+    recorder = attach_observer(proc)
+    assert not proc.fastpath_enabled
+    detach_observer(proc, recorder)
+    assert proc.fastpath_enabled
+    proc, _ = _run(proc)
+    assert proc.fast_forwarded_cycles > 0
+
+
+def test_observed_result_matches_fastpath_result(monkeypatch):
+    """Observer bit-invisibility composed with fast-path equivalence."""
+    from repro.obs import attach_observer
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    fast_proc, fast_result = _run(_processor())
+    observed_proc = _processor()
+    attach_observer(observed_proc)
+    observed_proc, observed_result = _run(observed_proc)
+    assert fast_proc.fast_forwarded_cycles > 0
+    assert observed_proc.fast_forwarded_cycles == 0
+    assert fast_result.to_dict() == observed_result.to_dict()
+
+
 def test_sanitized_result_matches_fastpath_result(monkeypatch):
     """Even though the sanitizer forces plain stepping, the simulated
     outcome equals the fast-forwarded run (fastpath equivalence composed

@@ -200,6 +200,54 @@ class TestEndpoints:
         assert body["id"] == "table2"
         assert body["artifact"].strip()
 
+    def test_traced_run_adds_digest_and_is_bit_identical(self, service):
+        _, client = service
+        plain = client.run("gzip", scheme="dmdc", instructions=BUDGET)
+        traced = client.run("gzip", scheme="dmdc", instructions=BUDGET,
+                            trace=True)
+        assert "trace" not in plain
+        digest = traced["trace"]
+        assert digest["reconciled"] is True
+        assert digest["events_emitted"] > 0
+        assert set(digest) >= {"cycle_buckets", "structures", "replays",
+                               "top_replay_sites", "windows", "filtering"}
+        # The traced run's architectural summary equals the cached one's.
+        assert traced["summary"] == plain["summary"]
+        assert traced["key"] == plain["key"]
+
+    def test_trace_must_be_boolean(self, service):
+        _, client = service
+        status, payload = client.request(
+            "POST", "/run", {"workload": "gzip", "instructions": BUDGET,
+                             "trace": "yes"})
+        assert status == 400
+        assert "boolean" in payload["error"]
+
+    def test_trace_rejected_in_sweeps(self, service):
+        _, client = service
+        for body in (
+            {"points": [{"workload": "gzip", "instructions": BUDGET,
+                         "trace": True}]},
+            {"points": [{"workload": "gzip"}],
+             "defaults": {"instructions": BUDGET, "trace": True}},
+        ):
+            status, payload = client.request("POST", "/sweep", body)
+            assert status == 400
+            assert "POST /run" in payload["error"]
+
+    def test_metrics_simulator_gauges_accumulate(self, service):
+        _, client = service
+        client.run("gzip", instructions=BUDGET)
+        client.run("gzip", instructions=BUDGET, trace=True)
+        snapshot = client.metrics()
+        simulator = snapshot["simulator"]
+        assert simulator["runs"] == 2
+        assert simulator["instructions"] == 2 * BUDGET
+        assert simulator["cycles"] > 0
+        assert simulator["mean_ipc"] > 0
+        assert simulator["traced_runs"] == 1
+        assert simulator["traced_events"] > 0
+
     @pytest.mark.parametrize("status,method,path,body", [
         (400, "POST", "/run", {"workload": "no-such-workload"}),
         (400, "POST", "/run", {"workload": "gzip", "scheme": "magic"}),
@@ -497,3 +545,41 @@ class TestMetrics:
         assert snapshot["latency"]["p50_seconds"] == pytest.approx(0.3)
         assert snapshot["latency"]["p99_seconds"] == pytest.approx(0.5)
         assert snapshot["engine"]["executed"] == 4
+
+    def test_empty_snapshot_has_null_latency_not_fake_zero(self):
+        """Regression: /metrics polled before the first request completes
+        must answer well-formed JSON with null latency fields, not a
+        fabricated 0.0 that dashboards would plot as 'instant'."""
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["latency"]["samples"] == 0
+        assert snapshot["latency"]["p50_seconds"] is None
+        assert snapshot["latency"]["p99_seconds"] is None
+        assert snapshot["simulator"]["runs"] == 0
+        assert snapshot["simulator"]["mean_ipc"] == 0.0
+        import json as json_mod
+        json_mod.dumps(snapshot)  # the payload must serialize as-is
+
+    def test_percentile_edge_cases(self):
+        from repro.service.metrics import percentile
+        assert percentile([], 50) is None
+        assert percentile([], 0) is None
+        assert percentile([3.0], 0) == 3.0
+        assert percentile([3.0], 100) == 3.0
+        assert percentile([1.0, 2.0, 3.0], 0) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 100) == 3.0
+        # Out-of-range percentiles clamp instead of indexing garbage.
+        assert percentile([1.0, 2.0], -5) == 1.0
+        assert percentile([1.0, 2.0], 150) == 2.0
+
+    def test_observe_simulation_folds_gauges(self, tiny_result):
+        metrics = ServiceMetrics()
+        metrics.observe_simulation(tiny_result)
+        metrics.observe_simulation(tiny_result, traced=True, events=123)
+        snapshot = metrics.snapshot()
+        simulator = snapshot["simulator"]
+        assert simulator["runs"] == 2
+        assert simulator["instructions"] == 2 * tiny_result.committed
+        assert simulator["cycles"] == 2 * tiny_result.cycles
+        assert simulator["traced_runs"] == 1
+        assert simulator["traced_events"] == 123
+        assert simulator["mean_ipc"] == pytest.approx(tiny_result.ipc)
