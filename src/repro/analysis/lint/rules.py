@@ -65,6 +65,17 @@ HOT_FUNCTIONS: Dict[str, Set[str]] = {
     "repro/lsq/queues.py": {
         "StoreQueue.search_for_forwarding",
         "LoadQueue.search_younger_issued",
+        "sq_forward_search_soa",
+        "sq_has_unresolved_soa",
+        "lq_violation_search_soa",
+    },
+    # The batched SoA kernel: its fused cycle loop and squash path are
+    # the hottest code in the repository.  Construction (``__init__``,
+    # ``TraceSoA``) is setup and may allocate freely.
+    "repro/sim/soa.py": {
+        "SoaKernel.run",
+        "SoaKernel._squash_from",
+        "SoaKernel._free_iq_if_held",
     },
 }
 

@@ -307,6 +307,7 @@ def cmd_bench(args) -> int:
         workloads=args.workload or None,
         seed=args.seed,
         progress=lambda line: print(f"  {line}", file=sys.stderr),
+        repeats=args.repeats,
     )
     problems = validate_payload(payload)
     if problems:
@@ -592,6 +593,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", action="append", metavar="NAME",
                    help="benchmark only NAME (repeatable; default: the mix)")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=1,
+                   help="timings per (workload, scheme) pair, keeping the "
+                        "fastest (committed payloads use 3)")
     p.add_argument("--out", default="BENCH_simulator.json",
                    help="output JSON path (default: %(default)s)")
 

@@ -110,10 +110,23 @@ class CheckScheme:
         """An external invalidation for ``line_addr`` arrived."""
 
     # -- observability ------------------------------------------------------
-    @property
-    def checking_active(self) -> bool:
-        """True while a DMDC checking window is open (cycle accounting)."""
-        return False
+    #: True while a DMDC checking window is open (cycle accounting).  A
+    #: plain attribute, not a property: both cycle loops read it every
+    #: cycle, and descriptor dispatch is measurable there.  DMDC shadows
+    #: it with an instance attribute it flips on activate/terminate.
+    checking_active = False
+
+    # -- SoA kernel adapter ------------------------------------------------
+    def soa_hooks(self, kernel) -> Optional["SoaHooks"]:
+        """Slot-index adapter binding this scheme to a SoA kernel run.
+
+        Returns a fresh :class:`SoaHooks` for ``kernel``, or None when
+        this scheme (or this configuration of it) has no slot-array
+        transcription — the processor then steps the object path.  The
+        base scheme answers None so unknown subclasses stay correct by
+        default; see ``docs/performance.md``.
+        """
+        return None
 
     def finalize(self, cycle: int) -> None:
         """End-of-run hook (close any open checking window for stats)."""
@@ -124,3 +137,67 @@ class CheckScheme:
         Called once by the processor when building the result, so the
         energy model can price YLA/bloom/table activity uniformly.
         """
+
+
+class SoaHooks:
+    """Scheme adapter for the SoA cycle kernel (:mod:`repro.sim.soa`).
+
+    The object-path hooks above receive :class:`DynInstr`; the kernel
+    instead hands adapters **slot indices** into its parallel arrays, and
+    the class-level flags below let it skip the call entirely for events a
+    scheme ignores.  Each adapter is a per-run transcription of its
+    scheme's hooks: it calls the same component methods (YLA, bloom
+    filter, checking table/queue, store sets) and bumps the same
+    ``scheme.stats`` names, so a run is bit-identical either way — only
+    pure queue-attribute tallies may be batched in locals and folded once
+    via :meth:`fold`.
+
+    Commit dispatch is ``commit_mode``: 0 = the scheme never acts at
+    commit (the kernel makes no call per retiring instruction); 1 = only
+    loads matter (:meth:`on_commit_load`); 2 = windowed checking — the
+    kernel calls :meth:`on_commit` whenever ``scheme.checking_active`` or
+    the committing instruction is a store flagged unsafe.
+    """
+
+    has_load_issue = False
+    has_store_resolve = False
+    commit_mode = 0
+    #: True when :meth:`on_squash` needs the addresses of squashed issued
+    #: loads (bloom); collecting them costs a pass the others skip.
+    wants_squashed_loads = False
+
+    def __init__(self, scheme: "CheckScheme", kernel) -> None:
+        self.scheme = scheme
+        self.k = kernel
+
+    def on_load_issue(self, slot: int) -> None:
+        """A load issued (called only when ``has_load_issue``)."""
+
+    def on_store_resolve(self, slot: int) -> int:
+        """A store's address resolved; return a victim load slot or -1
+        (called only when ``has_store_resolve``)."""
+        return -1
+
+    def on_commit_load(self, slot: int) -> bool:
+        """Commit-time check for a load; True = replay (``commit_mode`` 1)."""
+        return False
+
+    def on_commit(self, slot: int, cycle: int) -> bool:
+        """Commit-time check for any instruction; True = replay the head
+        (``commit_mode`` 2)."""
+        return False
+
+    def on_squash(self, last_kept_seq: int, squashed_load_addrs: List[int]) -> None:
+        """A replay squashed everything younger than ``last_kept_seq``.
+
+        The default delegates to the scheme's object-path hook with no
+        load list — correct for every scheme that only uses the boundary
+        age (YLA/DMDC rollback, store-set repair); adapters that need the
+        squashed loads themselves override this and set
+        ``wants_squashed_loads``.
+        """
+        self.scheme.on_squash(last_kept_seq, ())
+
+    def fold(self) -> None:
+        """Flush locally batched tallies back onto scheme/queue objects
+        (called once, after the kernel's cycle loop finishes)."""

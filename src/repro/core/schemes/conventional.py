@@ -14,10 +14,10 @@ from typing import List, Optional
 
 from repro.backend.dyninst import DynInstr
 from repro.core.bloom import CountingBloomFilter
-from repro.core.schemes.base import CheckScheme
+from repro.core.schemes.base import CheckScheme, SoaHooks
 from repro.core.yla import YlaFile
 from repro.errors import SimulationError
-from repro.lsq.queues import LoadQueue, StoreQueue
+from repro.lsq.queues import LoadQueue, StoreQueue, lq_violation_search_soa
 
 
 class ConventionalScheme(CheckScheme):
@@ -93,6 +93,13 @@ class ConventionalScheme(CheckScheme):
             if load.issue_cycle >= 0 and (load.addr & ~(line_bytes - 1)) == line_addr:
                 load.inv_marked = True
 
+    def soa_hooks(self, kernel):
+        if self.coherence:
+            # Load-load ordering walks ``inv_marked`` object state the SoA
+            # slots don't carry; coherent configs stay on the object path.
+            return None
+        return _ConventionalSoaHooks(self, kernel)
+
 
 class YlaFilteredScheme(ConventionalScheme):
     """Conventional LQ + YLA-based search filtering (Section 3)."""
@@ -123,6 +130,11 @@ class YlaFilteredScheme(ConventionalScheme):
 
     def on_squash(self, last_kept_seq: int, squashed_loads: List[DynInstr]) -> None:
         self.yla.rollback(last_kept_seq)
+
+    def soa_hooks(self, kernel):
+        if self.coherence:
+            return None
+        return _YlaSoaHooks(self, kernel)
 
     def collect(self) -> None:
         self.stats["yla.compares"] = self.yla.compares
@@ -170,9 +182,108 @@ class BloomFilteredScheme(ConventionalScheme):
             self.bloom.remove(instr.addr)
         return super().on_commit(instr, cycle)
 
+    def soa_hooks(self, kernel):
+        if self.coherence:
+            return None
+        return _BloomSoaHooks(self, kernel)
+
     def collect(self) -> None:
         self.stats["bloom.probes"] = self.bloom.probes
         self.stats["bloom.inserts"] = self.bloom.inserts
         self.stats["bloom.removes"] = self.bloom.removes
         self.stats["bloom.entries"] = self.bloom.entries
         self.stats["bloom.saturations"] = self.bloom.saturations
+
+
+class _ConventionalSoaHooks(SoaHooks):
+    """Slot-index transcription of :class:`ConventionalScheme`.
+
+    ``stats.bump`` sites match the object-path hooks one for one; the
+    LQ search-count attributes (which the object path bumps inside
+    :meth:`LoadQueue.search_younger_issued`) are batched in locals and
+    folded back once per run.
+    """
+
+    has_store_resolve = True
+
+    def __init__(self, scheme, kernel):
+        super().__init__(scheme, kernel)
+        self._searches = 0
+        self._filtered = 0
+
+    def _search(self, slot: int) -> int:
+        """The unfiltered path: bump, search the slot-array LQ, classify."""
+        s = self.scheme
+        k = self.k
+        s.stats.bump("lq.searches")
+        self._searches += 1
+        addr = k.addr[slot]
+        victim = lq_violation_search_soa(
+            k.lq, k.seq, k.addr, k.size, k.icyc,
+            k.seq[slot], addr, addr + k.size[slot])
+        if victim >= 0:
+            s.stats.bump("replay.execution_time")
+        return victim
+
+    def on_store_resolve(self, slot: int) -> int:
+        self.scheme.stats.bump("stores.resolved")
+        return self._search(slot)
+
+    def fold(self) -> None:
+        lq = self.scheme.lq
+        lq.searches += self._searches
+        lq.searches_filtered += self._filtered
+
+
+class _YlaSoaHooks(_ConventionalSoaHooks):
+    """:class:`YlaFilteredScheme`: YLA probe decides whether to search."""
+
+    has_load_issue = True
+
+    def on_load_issue(self, slot: int) -> None:
+        k = self.k
+        self.scheme.yla.observe_load_issue(k.addr[slot], k.seq[slot])
+
+    def on_store_resolve(self, slot: int) -> int:
+        s = self.scheme
+        k = self.k
+        s.stats.bump("stores.resolved")
+        if s.yla.store_is_safe(k.addr[slot], k.seq[slot]):
+            s.stats.bump("stores.safe")
+            self._filtered += 1
+            return -1
+        return self._search(slot)
+
+
+class _BloomSoaHooks(_ConventionalSoaHooks):
+    """:class:`BloomFilteredScheme`: counting-BF probe plus commit/squash
+    removals (why this adapter wants the squashed-load addresses)."""
+
+    has_load_issue = True
+    commit_mode = 1
+    wants_squashed_loads = True
+
+    def on_load_issue(self, slot: int) -> None:
+        self.scheme.bloom.insert(self.k.addr[slot])
+
+    def on_store_resolve(self, slot: int) -> int:
+        s = self.scheme
+        s.stats.bump("stores.resolved")
+        if not s.bloom.may_contain(self.k.addr[slot]):
+            s.stats.bump("stores.safe")
+            self._filtered += 1
+            return -1
+        return self._search(slot)
+
+    def on_commit_load(self, slot: int) -> bool:
+        k = self.k
+        if k.icyc[slot] >= 0:
+            self.scheme.bloom.remove(k.addr[slot])
+        return False
+
+    def on_squash(self, last_kept_seq: int, squashed_load_addrs) -> None:
+        # The kernel pre-filters to issued loads (issue_cycle >= 0), so
+        # this is exactly the object path's removal loop.
+        remove = self.scheme.bloom.remove
+        for addr in squashed_load_addrs:
+            remove(addr)

@@ -30,25 +30,30 @@ from typing import List, Optional
 
 from repro.backend.dyninst import DynInstr
 from repro.core.checking_table import CheckingTable, granule_bitmap
-from repro.core.schemes.base import CheckScheme, CommitDecision
+from repro.core.schemes.base import CheckScheme, CommitDecision, SoaHooks
 from repro.core.schemes.checking_queue import CheckingQueue
 from repro.core.yla import NO_LOAD, YlaFile
 from repro.utils.bitops import overlap
 
 
 class _MarkedStore:
-    """Classification record for one unsafe store active in the window."""
+    """Classification record for one unsafe store active in the window.
+
+    Constructed from scalars so both the object path (passing ``DynInstr``
+    fields) and the SoA adapter (passing slot-array reads) share it.
+    """
 
     __slots__ = ("seq", "addr", "size", "resolve_cycle", "boundary", "index", "bitmap")
 
-    def __init__(self, store: DynInstr, index: int):
-        self.seq = store.seq
-        self.addr = store.addr
-        self.size = store.size
-        self.resolve_cycle = store.resolve_cycle
-        self.boundary = store.window_end
+    def __init__(self, seq: int, addr: int, size: int, resolve_cycle: int,
+                 boundary: int, index: int):
+        self.seq = seq
+        self.addr = addr
+        self.size = size
+        self.resolve_cycle = resolve_cycle
+        self.boundary = boundary
         self.index = index
-        self.bitmap = granule_bitmap(store.addr, store.size)
+        self.bitmap = granule_bitmap(addr, size)
 
 
 class DmdcScheme(CheckScheme):
@@ -83,7 +88,9 @@ class DmdcScheme(CheckScheme):
         # end_check register(s)
         self._global_end = NO_LOAD   # global mode: pushed at unsafe-store issue
         self._active_end = NO_LOAD   # local mode + invalidation extensions
-        self._active = False
+        #: Shadows the base-class attribute with live per-instance state;
+        #: both cycle loops read it every cycle, so it stays a plain bool.
+        self.checking_active = False
         self._activation_cycle = -1
         self._overflow_pending = False
 
@@ -155,10 +162,6 @@ class DmdcScheme(CheckScheme):
     # ------------------------------------------------------------------
     # commit-time machinery
     # ------------------------------------------------------------------
-    @property
-    def checking_active(self) -> bool:
-        return self._active
-
     def _current_end(self) -> int:
         if self.local:
             return self._active_end
@@ -174,8 +177,8 @@ class DmdcScheme(CheckScheme):
         return self._current_end()
 
     def _activate(self, cycle: int) -> None:
-        if not self._active:
-            self._active = True
+        if not self.checking_active:
+            self.checking_active = True
             self._activation_cycle = cycle
             self._w_instrs = 0
             self._w_loads = 0
@@ -202,13 +205,13 @@ class DmdcScheme(CheckScheme):
         self._marked_stores.clear()
         self._promoted_indices.clear()
         self._inv_marked_indices.clear()
-        self._active = False
+        self.checking_active = False
         self._active_end = NO_LOAD
         self._overflow_pending = False
 
     def on_commit(self, instr: DynInstr, cycle: int) -> CommitDecision:
         decision = CommitDecision.OK
-        if self._active and instr.is_load:
+        if self.checking_active and instr.is_load:
             decision = self._commit_load_checked(instr, cycle)
             if decision == CommitDecision.REPLAY:
                 # The squash renumbers everything younger; the window will
@@ -220,7 +223,7 @@ class DmdcScheme(CheckScheme):
                 self._w_safe_loads += 1
         if instr.is_store and instr.unsafe_store:
             self._commit_unsafe_store(instr, cycle)
-        if self._active:
+        if self.checking_active:
             self._w_instrs += 1
             if instr.seq >= self._current_end():
                 self._terminate(cycle)
@@ -234,11 +237,15 @@ class DmdcScheme(CheckScheme):
             self.obs.table_marked(store, cycle)
         if self.table is not None:
             index = self.table.mark_store(store.addr, store.size)
-            self._marked_stores.append(_MarkedStore(store, index))
+            self._marked_stores.append(_MarkedStore(
+                store.seq, store.addr, store.size, store.resolve_cycle,
+                store.window_end, index))
         else:
             if not self.queue.insert(store.seq, store.addr, store.size):
                 self._overflow_pending = True
-            self._marked_stores.append(_MarkedStore(store, -1))
+            self._marked_stores.append(_MarkedStore(
+                store.seq, store.addr, store.size, store.resolve_cycle,
+                store.window_end, -1))
         if self.local and store.window_end > self._active_end:
             self._active_end = store.window_end
 
@@ -345,8 +352,16 @@ class DmdcScheme(CheckScheme):
             self._active_end = youngest
 
     def finalize(self, cycle: int) -> None:
-        if self._active:
+        if self.checking_active:
             self._terminate(cycle)
+
+    def soa_hooks(self, kernel):
+        if self.coherence:
+            # The line-interleaved YLA / INV-bit machinery is exercised by
+            # invalidation runs only, which the SoA gate already excludes;
+            # stay on the object path for any coherent configuration.
+            return None
+        return _DmdcSoaHooks(self, kernel)
 
     def collect(self) -> None:
         self.stats["yla.compares"] = self.yla.compares
@@ -364,3 +379,153 @@ class DmdcScheme(CheckScheme):
             self.stats["ckq.writes"] = self.queue.writes
             self.stats["ckq.entries"] = self.queue.entries
             self.stats["ckq.overflows"] = self.queue.overflows
+
+
+class _DmdcSoaHooks(SoaHooks):
+    """Slot-index transcription of :class:`DmdcScheme` (coherence off).
+
+    Component calls (YLA, table/queue) and ``stats.bump`` sites match the
+    object-path hooks one for one; only the FIFO-LQ ``hash_key`` write is
+    skipped — the field is write-only in the object path (its energy cost
+    is charged via ``lq.keys_written``, which is still bumped).
+    """
+
+    has_load_issue = True
+    has_store_resolve = True
+    commit_mode = 2
+
+    def on_load_issue(self, slot: int) -> None:
+        s = self.scheme
+        k = self.k
+        s.yla.observe_load_issue(k.addr[slot], k.seq[slot])
+        s.stats.bump("lq.keys_written")
+
+    def on_store_resolve(self, slot: int) -> int:
+        s = self.scheme
+        k = self.k
+        s.stats.bump("stores.resolved")
+        addr = k.addr[slot]
+        sseq = k.seq[slot]
+        if s.yla.store_is_safe(addr, sseq):
+            s.stats.bump("stores.safe")
+            return -1
+        s.stats.bump("stores.unsafe")
+        k.unsafe[slot] = True
+        boundary = s.yla.youngest_for(addr)
+        k.wend[slot] = boundary
+        if not s.local:
+            if boundary > s._global_end:
+                s._global_end = boundary
+        return -1
+
+    def on_commit(self, slot: int, cycle: int) -> bool:
+        s = self.scheme
+        k = self.k
+        if s.checking_active and k.isld[slot]:
+            if self._commit_load_checked(slot):
+                return True
+            s._w_loads += 1
+            if k.safe[slot]:
+                s._w_safe_loads += 1
+        if k.isst[slot] and k.unsafe[slot]:
+            self._commit_unsafe_store(slot, cycle)
+        if s.checking_active:
+            s._w_instrs += 1
+            if k.seq[slot] >= s._current_end():
+                s._terminate(cycle)
+        return False
+
+    def _commit_unsafe_store(self, slot: int, cycle: int) -> None:
+        s = self.scheme
+        k = self.k
+        s._activate(cycle)
+        s._w_unsafe_stores += 1
+        s.stats.bump("stores.unsafe_committed")
+        addr = k.addr[slot]
+        size = k.size[slot]
+        if s.table is not None:
+            index = s.table.mark_store(addr, size)
+        else:
+            index = -1
+            if not s.queue.insert(k.seq[slot], addr, size):
+                s._overflow_pending = True
+        s._marked_stores.append(_MarkedStore(
+            k.seq[slot], addr, size, k.rcyc[slot], k.wend[slot], index))
+        if s.local and k.wend[slot] > s._active_end:
+            s._active_end = k.wend[slot]
+
+    def _commit_load_checked(self, slot: int) -> bool:
+        s = self.scheme
+        k = self.k
+        if k.safe[slot] and (s.safe_loads or k.gbp[slot]):
+            s.stats.bump("loads.safe_bypassed")
+            return False
+        if k.seq[slot] > s._current_end():
+            # Past the boundary: this commit terminates the window.
+            return False
+        s.stats.bump("loads.checked")
+        if s._overflow_pending:
+            s._overflow_pending = False
+            s.stats.bump("replay.overflow")
+            return True
+        addr = k.addr[slot]
+        size = k.size[slot]
+        if s.table is not None:
+            outcome = s.table.check_load(addr, size)
+            if outcome == CheckingTable.PROMOTED:
+                s._promoted_indices.add(s.table.index(addr))
+                s.stats.bump("inv.promotions")
+            hit = outcome == CheckingTable.WRT_HIT
+        else:
+            hit = s.queue.check_load(addr, size) is not None
+        if not hit:
+            return False
+        self._classify_replay(slot)
+        return True
+
+    def _classify_replay(self, slot: int) -> None:
+        s = self.scheme
+        k = self.k
+        if k.tvs[slot] >= 0:
+            s.stats.bump("replay.true")
+            return
+        s.stats.bump("replay.false")
+        l_addr = k.addr[slot]
+        l_size = k.size[slot]
+        addr_matches = [
+            m for m in s._marked_stores
+            if overlap(m.addr, m.size, l_addr, l_size)
+        ]
+        if addr_matches:
+            self._classify_timing(slot, addr_matches, "addr")
+            return
+        if s.table is not None:
+            index = s.table.index(l_addr)
+            bits = granule_bitmap(l_addr, l_size)
+            conflicts = [
+                m for m in s._marked_stores
+                if m.index == index and (m.bitmap & bits)
+            ]
+            if conflicts:
+                self._classify_timing(slot, conflicts, "hash")
+                return
+            if index in s._promoted_indices or index in s._inv_marked_indices:
+                s.stats.bump("replay.false.inv")
+                return
+            s.stats.bump("replay.false.hash.Y")
+            return
+        s.stats.bump("replay.false.addr.Y")
+
+    def _classify_timing(self, slot: int, stores: List[_MarkedStore], kind: str) -> None:
+        s = self.scheme
+        k = self.k
+        icyc = k.icyc[slot]
+        lseq = k.seq[slot]
+        issued_before = any(icyc < m.resolve_cycle for m in stores)
+        in_window = any(m.seq < lseq <= m.boundary for m in stores)
+        if kind == "hash" and issued_before:
+            s.stats.bump("replay.false.hash.before")
+        elif in_window:
+            s.stats.bump(f"replay.false.{kind}.X")
+        else:
+            s.stats.bump(f"replay.false.{kind}.Y")

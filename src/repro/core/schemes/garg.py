@@ -21,7 +21,7 @@ Contrasts with DMDC, per the paper's related-work discussion:
 from typing import Dict, List, Optional
 
 from repro.backend.dyninst import DynInstr
-from repro.core.schemes.base import CheckScheme
+from repro.core.schemes.base import CheckScheme, SoaHooks
 from repro.errors import ConfigError, SimulationError
 from repro.utils.bitops import fold_xor, is_power_of_two, log2_exact
 from repro.utils.ring import RingBuffer
@@ -123,7 +123,49 @@ class GargAgeHashScheme(CheckScheme):
         if self.repair_on_squash:
             self.table.rollback(last_kept_seq)
 
+    def soa_hooks(self, kernel):
+        return _GargSoaHooks(self, kernel)
+
     def collect(self) -> None:
         self.stats["garg.table.reads"] = self.table.reads
         self.stats["garg.table.writes"] = self.table.writes
         self.stats["garg.table.entries"] = self.table.entries
+
+
+class _GargSoaHooks(SoaHooks):
+    """Slot-index transcription of :class:`GargAgeHashScheme`.
+
+    The flush-point scan walks the kernel's ROB slot list instead of the
+    processor's ring; both are age-ordered, so the first entry younger
+    than the store is the same instruction.
+    """
+
+    has_load_issue = True
+    has_store_resolve = True
+
+    def on_load_issue(self, slot: int) -> None:
+        k = self.k
+        self.scheme.table.observe_load(k.addr[slot], k.seq[slot])
+
+    def on_store_resolve(self, slot: int) -> int:
+        s = self.scheme
+        k = self.k
+        s.stats.bump("stores.resolved")
+        addr = k.addr[slot]
+        sseq = k.seq[slot]
+        if s.table.youngest_for(addr) <= sseq:
+            s.stats.bump("stores.safe")
+            return -1
+        seq_ = k.seq
+        line = addr >> 3
+        for entry in k.rob:
+            if seq_[entry] > sseq:
+                s.stats.bump("replay.execution_time")
+                if k.tvs[entry] < 0 and not (
+                    k.isld[entry] and k.icyc[entry] >= 0
+                    and k.addr[entry] >> 3 == line
+                ):
+                    s.stats.bump("replay.false")
+                return entry
+        s.stats.bump("garg.stale_hits")
+        return -1

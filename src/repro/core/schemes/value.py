@@ -20,7 +20,7 @@ Section 7 refers to.
 """
 
 from repro.backend.dyninst import DynInstr
-from repro.core.schemes.base import CheckScheme, CommitDecision
+from repro.core.schemes.base import CheckScheme, CommitDecision, SoaHooks
 
 
 class ValueBasedScheme(CheckScheme):
@@ -40,3 +40,22 @@ class ValueBasedScheme(CheckScheme):
             self.stats.bump("replay.true")
             return CommitDecision.REPLAY
         return CommitDecision.OK
+
+    def soa_hooks(self, kernel):
+        return _ValueSoaHooks(self, kernel)
+
+
+class _ValueSoaHooks(SoaHooks):
+    """Slot-index transcription of :class:`ValueBasedScheme`: the kernel
+    charges the commit-time D-cache re-access itself (``reexecutes_loads``);
+    only the value comparison lives here."""
+
+    commit_mode = 1
+
+    def on_commit_load(self, slot: int) -> bool:
+        s = self.scheme
+        s.stats.bump("value.reexecutions")
+        if self.k.tvs[slot] >= 0:
+            s.stats.bump("replay.true")
+            return True
+        return False

@@ -20,7 +20,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.options import PARALLEL_ENV, EngineOptions
 from repro.exec.request import RunRequest
 from repro.sim.result import SimulationResult
-from repro.sim.runner import run_workload
+from repro.sim.runner import run_many, run_workload
 
 __all__ = [
     "PARALLEL_ENV",
@@ -52,6 +52,16 @@ def _execute(request: RunRequest) -> SimulationResult:
         max_instructions=request.budget,
         seed=request.seed,
     )
+
+
+def _execute_batch(requests: List[RunRequest]) -> List[SimulationResult]:
+    """Run a worker's whole share of a batch through one ``run_many``.
+
+    Module-level so process pools can pickle it; batching inside the
+    worker is what lets ``run_many`` amortize trace generation and
+    kernel-buffer allocation across the jobs shipped to that worker.
+    """
+    return run_many(requests)
 
 
 @dataclass
@@ -184,27 +194,53 @@ class ExecutionEngine:
         if not pending:
             return
         if self.max_workers <= 1 or len(pending) == 1:
-            for key, request in pending:
-                yield key, request, self._execute_with_context(request)
+            yield from self._run_serial(pending)
             return
+        # Ship each worker a contiguous slice rather than one job at a
+        # time: callers submit sweeps in (scheme, workload) order, so
+        # slices keep same-trace jobs together and run_many can amortize
+        # trace generation and kernel buffers inside the worker.
         pool = self._ensure_pool()
+        chunk = -(-len(pending) // self.max_workers)  # ceil division
+        slices = [pending[i:i + chunk] for i in range(0, len(pending), chunk)]
         futures = {
-            pool.submit(_execute, request): (key, request) for key, request in pending
+            pool.submit(_execute_batch, [request for _, request in part]): part
+            for part in slices
         }
         try:
             while futures:
                 finished, _ = wait(futures, return_when=FIRST_EXCEPTION)
                 for future in finished:
-                    key, request = futures.pop(future)
+                    part = futures.pop(future)
                     exc = future.exception()
                     if exc is not None:
+                        jobs = ", ".join(r.describe() for _, r in part)
                         raise SimulationError(
-                            f"simulation failed for {request.describe()}: {exc}"
+                            f"simulation failed within batch [{jobs}]: {exc}"
                         ) from exc
-                    yield key, request, future.result()
+                    for (key, request), result in zip(part, future.result()):
+                        yield key, request, result
         finally:
             for future in futures:
                 future.cancel()
+
+    def _run_serial(
+        self, pending: List[Tuple[str, RunRequest]]
+    ) -> Iterator[Tuple[str, RunRequest, SimulationResult]]:
+        """In-process path: one ``run_many`` over the whole batch.
+
+        On any batch failure, fall back to per-request execution so the
+        error is attributed to the exact design point that died (and its
+        batch-mates still complete).
+        """
+        try:
+            results = run_many([request for _, request in pending])
+        except Exception:
+            for key, request in pending:
+                yield key, request, self._execute_with_context(request)
+            return
+        for (key, request), result in zip(pending, results):
+            yield key, request, result
 
     @staticmethod
     def _execute_with_context(request: RunRequest) -> SimulationResult:

@@ -80,13 +80,14 @@ class BranchTargetBuffer:
         self._sets = entries // assoc
         self._assoc = assoc
         self._mask = self._sets - 1
+        self._tag_shift = log2_exact(self._sets)
         self._table = {}  # set index -> list of (tag, target) MRU first
         self.hits = 0
         self.misses = 0
 
     def _split(self, pc: int):
         word = pc >> 2
-        return word & self._mask, word >> log2_exact(self._sets)
+        return word & self._mask, word >> self._tag_shift
 
     def lookup(self, pc: int):
         """Return the predicted target or None on a BTB miss."""

@@ -11,6 +11,7 @@ branch and addresses near the program's recent working set, which are fed
 to the active dependence-checking scheme before recovery is signalled.
 """
 
+from collections import deque
 from typing import List, Tuple
 
 from repro.utils.rng import DeterministicRng
@@ -30,15 +31,15 @@ class WrongPathModel:
         self.enabled = enabled
         self.mean_loads = mean_loads_per_mispredict
         self.address_spread = address_spread
-        self._recent_addrs: List[int] = []
         self._recent_cap = 32
+        # A bounded deque: append evicts the oldest entry in O(1), and it
+        # sits directly on the load-issue hot path of both pipelines.
+        self._recent_addrs: deque = deque(maxlen=self._recent_cap)
         self.injected = 0
 
     def observe_address(self, addr: int) -> None:
         """Track committed-path data addresses to anchor wrong-path ones."""
         self._recent_addrs.append(addr)
-        if len(self._recent_addrs) > self._recent_cap:
-            self._recent_addrs.pop(0)
 
     def loads_for_mispredict(self, branch_seq: int) -> List[Tuple[int, int]]:
         """Return ``(age, address)`` pairs of phantom wrong-path loads.

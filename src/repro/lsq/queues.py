@@ -43,9 +43,12 @@ class ForwardAction(enum.Enum):
 
 
 class ForwardResult(NamedTuple):
-    """Outcome of one forwarding search (a NamedTuple: it is built once per
-    issued load, and tuple construction is measurably cheaper than a
-    dataclass on that path)."""
+    """Outcome of one forwarding search.
+
+    A NamedTuple, built at most once per load issue attempt; the SoA
+    kernel's :func:`sq_forward_search_soa` returns the same three facts as
+    a plain tuple of ints and never constructs this type at all.
+    """
 
     action: ForwardAction
     store: Optional[DynInstr]
@@ -94,10 +97,6 @@ class StoreQueue:
     def find(self, seq: int) -> Optional[DynInstr]:
         """The in-flight store with age ``seq``, or None."""
         return self.by_seq.get(seq)
-
-    def note_filtered_search(self) -> None:
-        """Record a forwarding search skipped by the age filter (Section 3)."""
-        self.searches_filtered += 1
 
     def search_for_forwarding(self, load: DynInstr, count_search: bool = True) -> ForwardResult:
         """Resolve a load's memory source against all older in-flight stores.
@@ -155,10 +154,6 @@ class StoreQueue:
                 return store.seq
         return None
 
-    def oldest_seq(self) -> Optional[int]:
-        head = self.ring.head()
-        return head.seq if head is not None else None
-
 
 class LoadQueue:
     """Age-ordered load queue.
@@ -215,3 +210,82 @@ class LoadQueue:
                 if s_addr < l_addr + load.size and l_addr < s_end:
                     return load
         return None
+
+
+# ======================================================================
+# Slot-array search kernels (the SoA cycle loop's LSQ)
+# ======================================================================
+#
+# The SoA kernel (:mod:`repro.sim.soa`) keeps its LQ/SQ as plain lists of
+# slot indices into parallel state arrays; these free functions are the
+# exact transcriptions of the two searches above over that layout.  They
+# return plain ints (action codes, slot indices) and bump no counters —
+# the kernel accumulates search counts in locals and folds them into the
+# queue objects once per run, so the externally visible totals match the
+# object path bit for bit.
+
+#: Integer action codes mirroring :class:`ForwardAction` member for member.
+SOA_CACHE = 0
+SOA_FORWARD = 1
+SOA_REJECT = 2
+
+
+def sq_forward_search_soa(sq_slots, seq_, addr_, size_, rcyc_, pdata_,
+                          load_seq, l_addr, l_end):
+    """:meth:`StoreQueue.search_for_forwarding` over slot arrays.
+
+    ``sq_slots`` is the age-ordered list of SQ slot indices; the remaining
+    array arguments are the kernel's parallel per-slot state.  Returns
+    ``(action, match_slot, all_older_resolved)`` with ``match_slot`` -1
+    for no match — the same three facts as :class:`ForwardResult`, with
+    the same youngest-first scan and the same early exit.
+    """
+    all_resolved = True
+    action = SOA_CACHE
+    match = -1
+    for slot in reversed(sq_slots):
+        if seq_[slot] >= load_seq:
+            continue
+        if rcyc_[slot] < 0:
+            all_resolved = False
+            if match >= 0:
+                break
+            continue
+        if match < 0:
+            s_addr = addr_[slot]
+            if s_addr < l_end and l_addr < s_addr + size_[slot]:
+                match = slot
+                if (
+                    s_addr <= l_addr
+                    and l_end <= s_addr + size_[slot]
+                    and pdata_[slot] == 0
+                ):
+                    action = SOA_FORWARD
+                else:
+                    action = SOA_REJECT
+                if not all_resolved:
+                    break
+    return action, match, all_resolved
+
+
+def sq_has_unresolved_soa(sq_slots, rcyc_) -> bool:
+    """:meth:`StoreQueue.oldest_unresolved_seq` truth-value over slot arrays
+    (the livelock guard only asks *whether* an unresolved store exists)."""
+    for slot in sq_slots:
+        if rcyc_[slot] < 0:
+            return True
+    return False
+
+
+def lq_violation_search_soa(lq_slots, seq_, addr_, size_, icyc_,
+                            s_seq, s_addr, s_end) -> int:
+    """:meth:`LoadQueue.search_younger_issued` over slot arrays.
+
+    Returns the slot of the oldest younger issued overlapping load, or -1.
+    """
+    for slot in lq_slots:
+        if seq_[slot] > s_seq and icyc_[slot] >= 0:
+            l_addr = addr_[slot]
+            if s_addr < l_addr + size_[slot] and l_addr < s_end:
+                return slot
+    return -1

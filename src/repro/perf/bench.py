@@ -35,7 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.config import CONFIG2, SCHEME_LABELS, MachineConfig, SchemeConfig
 from repro.sim.processor import NO_FASTPATH_ENV, Processor
-from repro.sim.runner import instruction_budget
+from repro.sim.runner import instruction_budget, run_many
+from repro.sim.soa import NO_SOA_ENV
 
 #: Default output file, at the repository root by convention.
 BENCH_FILENAME = "BENCH_simulator.json"
@@ -92,9 +93,12 @@ def _effective_knobs() -> Dict:
     from repro.exec.options import CACHE_ENABLE_ENV, PARALLEL_ENV, EngineOptions
 
     options = EngineOptions.from_env()
-    tracked = (NO_FASTPATH_ENV, PARALLEL_ENV, CACHE_ENABLE_ENV)
+    tracked = (NO_FASTPATH_ENV, NO_SOA_ENV, PARALLEL_ENV, CACHE_ENABLE_ENV)
     return {
         "fastpath_enabled": not bool(os.environ.get(NO_FASTPATH_ENV)),
+        # The *requested* kernel; each row also records the kernel its
+        # processor actually engaged (a hook or tracer forces "object").
+        "kernel": "object" if os.environ.get(NO_SOA_ENV) else "soa",
         "engine_cache_enabled": options.cache_enabled,
         "engine_workers": options.resolve_workers(),
         "env": {name: os.environ[name] for name in tracked
@@ -102,10 +106,23 @@ def _effective_knobs() -> Dict:
     }
 
 
-def _bench_one(config: MachineConfig, trace, budget: int, seed: int) -> Dict:
-    processor = Processor(config, trace, seed=seed)
-    processor.prewarm()
-    result = processor.run(budget)
+def _bench_one(config: MachineConfig, trace, budget: int, seed: int,
+               repeats: int = 1) -> Dict:
+    """Time one (config, trace) pair; best sim-time over ``repeats``.
+
+    Repeats re-run a *fresh, identical* simulation and keep the fastest
+    timing: the simulated outcome is deterministic, so repeats only
+    reject scheduler/VM noise — they can never change the result whose
+    throughput is being reported.
+    """
+    best = None
+    for _ in range(max(1, repeats)):
+        candidate = Processor(config, trace, seed=seed)
+        candidate.prewarm()
+        attempt = candidate.run(budget)
+        if best is None or attempt.sim_seconds < best[0].sim_seconds:
+            best = (attempt, candidate)
+    result, processor = best
     total_cycles = result.cycles
     return {
         "instructions": result.committed,
@@ -117,12 +134,61 @@ def _bench_one(config: MachineConfig, trace, budget: int, seed: int) -> Dict:
         "ipc": result.ipc,
         # Effective per-row, not just the global env flag: a future
         # tracer/hook user of this helper would silently lose the fast
-        # path, and the row must say so.
+        # path or the SoA kernel, and the row must say so.
         "fastpath_enabled": processor.fastpath_enabled,
+        "kernel": processor.kernel_used,
         "fast_forwarded_cycles": processor.fast_forwarded_cycles,
         "fast_forward_fraction": (
             processor.fast_forwarded_cycles / total_cycles if total_cycles else 0.0
         ),
+    }
+
+
+def _bench_batch(budget: int, seed: int) -> Dict:
+    """Measure ``run_many`` batch amortization over eight design points.
+
+    The same (scheme, workload) sweep is executed twice from cold —
+    once as independent :func:`repro.sim.runner.run_workload` calls
+    (each paying its own trace generation and kernel-buffer
+    allocation), once through one :func:`run_many` batch — and the
+    payload records both wall times plus a bit-identity check between
+    the two result sets.
+    """
+    from repro.exec.request import RunRequest
+    from repro.sim.runner import run_workload
+    from repro.workloads import get_workload
+
+    labels = ("conventional", "storesets", "dmdc", "value")
+    requests = [
+        RunRequest(CONFIG2.with_scheme(SchemeConfig.from_label(label)),
+                   name, budget, seed)
+        for label in labels for name in QUICK_MIX
+    ]
+
+    start = time.perf_counter()
+    singles = [
+        run_workload(request.config, get_workload(request.workload),
+                     max_instructions=request.budget, seed=request.seed)
+        for request in requests
+    ]
+    wall_individual = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_many(requests)
+    wall_run_many = time.perf_counter() - start
+
+    return {
+        "points": len(requests),
+        "instructions_per_run": budget,
+        "design_points": [request.describe() for request in requests],
+        "wall_seconds_individual": wall_individual,
+        "wall_seconds_run_many": wall_run_many,
+        "batch_speedup_wall": (
+            wall_individual / wall_run_many if wall_run_many else 0.0),
+        "sim_seconds_individual": sum(r.sim_seconds for r in singles),
+        "sim_seconds_run_many": sum(r.sim_seconds for r in batched),
+        "identical_results": (
+            [r.to_dict() for r in singles] == [r.to_dict() for r in batched]),
     }
 
 
@@ -132,11 +198,15 @@ def run_bench(
     workloads: Optional[Sequence[str]] = None,
     seed: int = 1,
     progress=None,
+    repeats: int = 1,
 ) -> Dict:
     """Run the benchmark suite; return the ``BENCH_simulator.json`` payload.
 
     ``progress``, when given, is called with one status string per
-    completed (workload, scheme) pair.
+    completed (workload, scheme) pair.  ``repeats`` re-times each pair
+    that many times and keeps the fastest (see :func:`_bench_one`) — the
+    committed payload uses ``repeats=3`` so a noisy co-tenant cannot
+    masquerade as a simulator regression.
     """
     from repro.workloads import get_workload
 
@@ -162,7 +232,7 @@ def run_bench(
         total_seconds = 0.0
         scheme_wall_start = time.perf_counter()
         for name in mix:
-            row = _bench_one(config, traces[name], budget, seed)
+            row = _bench_one(config, traces[name], budget, seed, repeats)
             per_workload[name] = row
             total_instr += row["instructions"]
             total_cycles += row["cycles"]
@@ -183,8 +253,11 @@ def run_bench(
     agg_instr = sum(r["instructions"] for r in scheme_rows.values())
     agg_seconds = sum(r["sim_seconds"] for r in scheme_rows.values())
     wall_seconds = time.perf_counter() - wall_start
+
+    batch = _bench_batch(min(budget, 4_000), seed)
+
     return {
-        "schema": 2,
+        "schema": 3,
         "kind": "simulator-throughput",
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": _git_sha(),
@@ -193,11 +266,13 @@ def run_bench(
         "instructions_per_run": budget,
         "seed": seed,
         "quick": quick,
+        "repeats": max(1, repeats),
         "workloads": list(mix),
         "fastpath_enabled": not bool(os.environ.get(NO_FASTPATH_ENV)),
         "knobs": _effective_knobs(),
         "wall_seconds": wall_seconds,
         "schemes": scheme_rows,
+        "batch": batch,
         "aggregate_instr_per_sec": agg_instr / agg_seconds if agg_seconds else 0.0,
         # Honest end-to-end rate over wall time (trace generation and
         # prewarm included) — no cache to hide behind, by construction.
@@ -223,6 +298,17 @@ def validate_payload(payload: Dict) -> List[str]:
             problems.append(f"missing key: {key}")
     if "knobs" in payload and "fastpath_enabled" not in payload["knobs"]:
         problems.append("knobs missing fastpath_enabled provenance")
+    if payload.get("schema", 0) >= 3:
+        if "kernel" not in payload.get("knobs", {}):
+            problems.append("knobs missing kernel provenance")
+        batch = payload.get("batch")
+        if not batch:
+            problems.append("missing run_many batch row")
+        else:
+            if batch.get("points", 0) < 8:
+                problems.append("batch row covers fewer than 8 design points")
+            if not batch.get("identical_results", False):
+                problems.append("batch results diverge from individual runs")
     for label, row in payload.get("schemes", {}).items():
         if row.get("instructions", 0) <= 0:
             problems.append(f"scheme {label}: no instructions committed")
@@ -238,4 +324,7 @@ def validate_payload(payload: Dict) -> List[str]:
             if "fastpath_enabled" not in sub:
                 problems.append(
                     f"scheme {label}/{name}: missing fastpath provenance")
+            if payload.get("schema", 0) >= 3 and "kernel" not in sub:
+                problems.append(
+                    f"scheme {label}/{name}: missing kernel provenance")
     return problems

@@ -12,6 +12,9 @@ service-grade properties the one-shot CLI lacked:
 * **micro-batching** — admitted points are drained in batches (after a
   short accumulation window), amortizing engine dispatch and letting the
   engine's own planner dedup/cache logic see the whole batch at once;
+  points that miss every cache then execute through the batched
+  :func:`repro.sim.runner.run_many` entry, which shares trace generation
+  and SoA kernel buffers across the micro-batch;
 * **bounded admission** — at most ``max_queue`` distinct points may be
   pending+executing; beyond that :class:`Saturated` is raised, which the
   HTTP layer turns into an explicit 429 instead of unbounded queueing.

