@@ -27,6 +27,9 @@ Commands:
 ``bench``
     Measure simulator throughput (committed instructions per second) for
     every scheme over a fixed workload mix; write ``BENCH_simulator.json``.
+    With ``--service``, benchmark the sharded service instead: concurrent
+    keep-alive clients at several shard counts, proving throughput scaling
+    and response bit-identity; write ``BENCH_service.json``.
 ``check``
     Correctness tooling (see ``docs/correctness.md``): ``--static`` runs
     the repo-specific AST lint pass, ``--sanitize`` runs the shadow-oracle
@@ -35,7 +38,8 @@ Commands:
 ``serve``
     Long-lived JSON-over-HTTP simulation service (see ``docs/service.md``):
     batched, deduplicating, backpressured access to the execution engine
-    for streams of small design-point queries.
+    for streams of small design-point queries; ``--shards N`` runs N
+    engine shards routed by content-address hash.
 """
 
 import argparse
@@ -297,10 +301,57 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_bench_service(args) -> int:
+    from repro.perf import (
+        BENCH_SERVICE_FILENAME,
+        run_service_bench,
+        validate_service_payload,
+        write_service_bench,
+    )
+
+    shard_counts = tuple(args.shards) if args.shards else (1, 2, 4)
+    payload = run_service_bench(
+        shard_counts=shard_counts,
+        clients=args.clients,
+        points_per_client=args.points,
+        instructions=args.instructions or 4_000,
+        seed=args.seed,
+        workers_per_shard=args.workers_per_shard,
+        quick=args.quick,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    problems = validate_service_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"bench: {problem}", file=sys.stderr)
+        return 1
+    rows = []
+    for row in payload["runs"]:
+        identical = row["bit_identical_vs_baseline"]
+        rows.append([
+            row["shards"],
+            row["throughput"]["requests"],
+            f"{row['throughput']['requests_per_second']:.1f}",
+            f"{row['speedup_vs_baseline']:.2f}x",
+            row["dedup"]["coalesced_inflight"],
+            "baseline" if identical is None else ("yes" if identical else "NO"),
+        ])
+    print(format_table(
+        ["shards", "requests", "req/s", "speedup", "coalesced", "bit-identical"],
+        rows,
+        title=f"Service scaling ({payload['clients']} clients x "
+              f"{payload['points_per_client']} points)"))
+    path = write_service_bench(payload, args.out or BENCH_SERVICE_FILENAME)
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.perf import run_bench, write_bench
     from repro.perf.bench import validate_payload
 
+    if args.service:
+        return cmd_bench_service(args)
     payload = run_bench(
         instructions=args.instructions,
         quick=args.quick,
@@ -324,7 +375,7 @@ def cmd_bench(args) -> int:
         title=f"Simulator throughput ({', '.join(payload['workloads'])})"))
     print(f"aggregate: {payload['aggregate_instr_per_sec']:,.0f} instr/s "
           f"(fastpath {'on' if payload['fastpath_enabled'] else 'off'})")
-    path = write_bench(payload, args.out)
+    path = write_bench(payload, args.out or "BENCH_simulator.json")
     print(f"wrote {path}")
     return 0
 
@@ -404,6 +455,7 @@ def cmd_serve(args) -> int:
         cache_enabled=False if args.no_cache else None,
         cache_dir=args.cache_dir,
         max_workers=args.jobs,
+        shards=args.shards,
     )
     config = ServiceConfig(
         host=args.host,
@@ -576,7 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=60.0, metavar="S",
                    help="SIGTERM drain bound in seconds")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
-                   help="simulation worker processes")
+                   help="simulation worker processes (split across shards)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="engine shards; design points route to shards by "
+                        "content-address hash (default: REPRO_SHARDS or 1)")
     p.add_argument("--no-cache", action="store_true",
                    help="run without the disk result cache")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -596,8 +651,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=1,
                    help="timings per (workload, scheme) pair, keeping the "
                         "fastest (committed payloads use 3)")
-    p.add_argument("--out", default="BENCH_simulator.json",
-                   help="output JSON path (default: %(default)s)")
+    p.add_argument("--service", action="store_true",
+                   help="benchmark the sharded service instead of the raw "
+                        "simulator: boot the HTTP service at each --shards "
+                        "count, drive it with concurrent keep-alive clients, "
+                        "and write BENCH_service.json")
+    p.add_argument("--shards", type=int, action="append", metavar="N",
+                   help="with --service: shard count to measure (repeatable; "
+                        "default 1, 2, 4; the first is the speedup baseline)")
+    p.add_argument("--clients", type=int, default=4, metavar="K",
+                   help="with --service: concurrent load-generator clients")
+    p.add_argument("--points", type=int, default=8, metavar="M",
+                   help="with --service: distinct design points per client "
+                        "in the timed phase")
+    p.add_argument("--workers-per-shard", type=int, default=1, metavar="N",
+                   help="with --service: engine worker processes per shard")
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default: BENCH_simulator.json, "
+                        "or BENCH_service.json with --service)")
 
     return parser
 

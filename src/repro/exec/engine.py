@@ -105,7 +105,8 @@ class ExecutionEngine:
     def __init__(self, cache: Optional[ResultCache] = None,
                  max_workers: Optional[int] = None,
                  progress: Optional[ProgressFn] = None,
-                 options: Optional[EngineOptions] = None) -> None:
+                 options: Optional[EngineOptions] = None,
+                 offload: bool = False) -> None:
         if options is not None:
             if cache is None:
                 cache = options.build_cache()
@@ -115,6 +116,11 @@ class ExecutionEngine:
         self.cache = cache
         self.max_workers = max_workers if max_workers is not None else worker_count()
         self.progress = progress
+        #: When set, every simulation is dispatched to the process pool —
+        #: even a singleton batch that the default policy would run
+        #: in-process.  The sharded service sets this so N shard engines
+        #: occupy N cores instead of contending for one GIL.
+        self.offload = offload
         self.stats = EngineStats()
         self._memo: Dict[str, SimulationResult] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -193,7 +199,7 @@ class ExecutionEngine:
     ) -> Iterator[Tuple[str, RunRequest, SimulationResult]]:
         if not pending:
             return
-        if self.max_workers <= 1 or len(pending) == 1:
+        if not self.offload and (self.max_workers <= 1 or len(pending) == 1):
             yield from self._run_serial(pending)
             return
         # Ship each worker a contiguous slice rather than one job at a

@@ -25,6 +25,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENABLE_ENV = "REPRO_CACHE"
 #: Worker count: 0 or 1 forces serial; unset picks ``min(cpu_count, 12)``.
 PARALLEL_ENV = "REPRO_PARALLEL"
+#: Service shard count: engine workers behind ``repro serve`` (default 1).
+SHARDS_ENV = "REPRO_SHARDS"
 
 #: Upper bound on the default worker count (diminishing returns past it).
 _DEFAULT_WORKER_CAP = 12
@@ -51,6 +53,18 @@ def _env_workers() -> Optional[int]:
         ) from None
 
 
+def _env_shards() -> Optional[int]:
+    raw = os.environ.get(SHARDS_ENV)
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{SHARDS_ENV} must be an integer shard count, got {raw!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class EngineOptions:
     """Explicit, comparable configuration for one execution engine.
@@ -63,21 +77,24 @@ class EngineOptions:
     cache_enabled: bool = True
     cache_dir: Optional[Path] = None
     max_workers: Optional[int] = None
+    shards: Optional[int] = None
 
     @classmethod
     def from_env(cls, cache_enabled: Optional[bool] = None,
                  cache_dir: Optional[Path] = None,
-                 max_workers: Optional[int] = None) -> "EngineOptions":
+                 max_workers: Optional[int] = None,
+                 shards: Optional[int] = None) -> "EngineOptions":
         """Environment-derived defaults, with explicit keyword overrides.
 
         This classmethod is the single site in the repository where the
-        ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_PARALLEL``
-        variables are consulted.
+        ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_PARALLEL`` /
+        ``REPRO_SHARDS`` variables are consulted.
         """
         options = cls(
             cache_enabled=_env_cache_enabled(),
             cache_dir=_env_cache_dir(),
             max_workers=_env_workers(),
+            shards=_env_shards(),
         )
         if cache_enabled is not None:
             options = replace(options, cache_enabled=cache_enabled)
@@ -85,6 +102,8 @@ class EngineOptions:
             options = replace(options, cache_dir=Path(cache_dir))
         if max_workers is not None:
             options = replace(options, max_workers=max_workers)
+        if shards is not None:
+            options = replace(options, shards=shards)
         return options
 
     # -- resolution ------------------------------------------------------
@@ -98,6 +117,18 @@ class EngineOptions:
         if self.max_workers is None:
             return min(os.cpu_count() or 1, _DEFAULT_WORKER_CAP)
         return max(1, self.max_workers)
+
+    def resolve_shards(self) -> int:
+        """Concrete service shard count (sharding is opt-in: default 1)."""
+        if self.shards is None:
+            return 1
+        return max(1, self.shards)
+
+    def workers_per_shard(self) -> int:
+        """The worker-process budget each of ``resolve_shards()`` shard
+        engines receives: the total worker count divided evenly, never
+        below one per shard."""
+        return max(1, self.resolve_workers() // self.resolve_shards())
 
     def build_cache(self) -> Optional["ResultCache"]:
         """A :class:`ResultCache` at the resolved location, or ``None``."""

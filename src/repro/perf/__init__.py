@@ -1,4 +1,10 @@
-"""Simulator throughput benchmarking (the ``repro bench`` subcommand)."""
+"""Performance benchmarking (the ``repro bench`` subcommand).
+
+Two harnesses: :mod:`repro.perf.bench` measures raw simulator throughput
+(``BENCH_simulator.json``); :mod:`repro.perf.loadgen` drives the sharded
+service with concurrent clients and proves shard scaling plus response
+bit-identity (``BENCH_service.json``).
+"""
 
 from repro.perf.bench import (
     BENCH_FILENAME,
@@ -7,11 +13,21 @@ from repro.perf.bench import (
     run_bench,
     write_bench,
 )
+from repro.perf.loadgen import (
+    BENCH_SERVICE_FILENAME,
+    run_service_bench,
+    validate_service_payload,
+    write_service_bench,
+)
 
 __all__ = [
     "BENCH_FILENAME",
+    "BENCH_SERVICE_FILENAME",
     "DEFAULT_MIX",
     "QUICK_MIX",
     "run_bench",
+    "run_service_bench",
+    "validate_service_payload",
     "write_bench",
+    "write_service_bench",
 ]

@@ -1,0 +1,433 @@
+"""Service scaling benchmark: ``repro bench --service``.
+
+Boots the sharded service in-process at several shard counts, drives it
+with k concurrent keep-alive clients x m design points each, and writes
+the machine-readable ``BENCH_service.json`` proving (a) aggregate
+throughput scales with shard count on a multi-core host and (b) the
+sharding refactor is *invisible* to clients — every response is
+bit-identical across shard counts, and dedup accounting stays
+shard-local under the routing invariant (one content key -> one shard).
+
+Methodology (see ``docs/performance.md``):
+
+* every run disables the disk result cache — a scaling number inflated
+  by cache hits from the previous shard count's run would be
+  meaningless — and forces ``offload`` so 1-shard and N-shard runs pay
+  the same per-simulation dispatch cost;
+* the **throughput phase** gives each client a disjoint set of design
+  points, so the simulated work is exactly ``clients x points`` at
+  every shard count, independent of timing;
+* the **dedup phase** is untimed: all clients post the same hot points
+  in barrier lockstep, which must coalesce shard-locally (that it does
+  is asserted, not assumed);
+* clients precompute each point's home shard from its content key and
+  cross-check ``/metrics`` per-shard accounting against that routing —
+  a failed cross-check is recorded in the payload and fails validation;
+* ``speedup`` is the ratio of throughput-phase requests/second against
+  the first (baseline) shard count.
+
+The payload records machine + git provenance like ``BENCH_simulator.json``
+because a 1-core box *cannot* show shard scaling: there, the harness
+still proves bit-identity and shard-local dedup, and
+:func:`validate_service_payload` only enforces the speedup floor when
+the recorded machine has the cores to express it.
+"""
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.options import EngineOptions
+from repro.perf.bench import _git_sha, _machine_info
+from repro.service.client import ServiceClient
+from repro.service.schema import parse_run_payload
+from repro.service.server import ServiceConfig, create_server
+from repro.service.shards import shard_for_key
+
+#: Default output file, at the repository root by convention.
+BENCH_SERVICE_FILENAME = "BENCH_service.json"
+
+#: Workload/scheme wheels the generated design points cycle through —
+#: the bench mix plus the headline schemes, so points differ in trace
+#: *and* in checking machinery.
+POINT_WORKLOADS = ("gzip", "mcf", "twolf", "equake")
+POINT_SCHEMES = ("conventional", "dmdc", "storesets", "value")
+
+#: Speedup floor the committed payload must clear at >= 4 shards on a
+#: host with >= 4 cores (acceptance bar of the sharding refactor).
+SPEEDUP_FLOOR = 2.5
+
+
+def build_points(count: int, instructions: int, seed: int,
+                 salt: int = 0) -> List[Dict[str, object]]:
+    """``count`` distinct run payloads, deterministic in (seed, salt).
+
+    Distinctness comes from the ``seed`` field of each payload (a seed
+    change reroutes the content key), so points cover the full
+    workload x scheme wheel however small ``count`` is.
+    """
+    points: List[Dict[str, object]] = []
+    for index in range(count):
+        points.append({
+            "workload": POINT_WORKLOADS[index % len(POINT_WORKLOADS)],
+            "scheme": POINT_SCHEMES[(index // len(POINT_WORKLOADS))
+                                    % len(POINT_SCHEMES)],
+            "instructions": instructions,
+            "seed": seed * 10_000 + salt * 1_000 + index,
+        })
+    return points
+
+
+def point_key(point: Dict[str, object]) -> str:
+    """The engine content key a run payload will be normalized to."""
+    return parse_run_payload(dict(point)).cache_key()
+
+
+def _expected_routing(requests_per_key: Dict[str, int],
+                      shards: int) -> List[int]:
+    """Per-shard request counts implied by client-side routing."""
+    counts = [0] * shards
+    for key, requests in requests_per_key.items():
+        counts[shard_for_key(key, shards)] += requests
+    return counts
+
+
+class _ClientWorker(threading.Thread):
+    """One load-generating client: disjoint phase, then hot lockstep."""
+
+    def __init__(self, index: int, client: ServiceClient,
+                 own_points: Sequence[Dict[str, object]],
+                 hot_points: Sequence[Dict[str, object]],
+                 start: threading.Barrier, mid: threading.Barrier,
+                 hot_gates: Sequence[threading.Barrier]) -> None:
+        super().__init__(name=f"loadgen-client-{index}", daemon=True)
+        self.index = index
+        self.client = client
+        self.own_points = list(own_points)
+        self.hot_points = list(hot_points)
+        self.start_barrier = start
+        self.mid_barrier = mid
+        self.hot_gates = hot_gates
+        self.responses: Dict[str, Dict[str, object]] = {}
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via harness
+        try:
+            self.start_barrier.wait(timeout=120)
+            for point in self.own_points:
+                self.responses[_point_id(point)] = self.client.run_point(point)
+            self.mid_barrier.wait(timeout=600)
+            for gate, point in zip(self.hot_gates, self.hot_points):
+                gate.wait(timeout=600)
+                self.responses[_point_id(point)] = self.client.run_point(point)
+        except BaseException as exc:  # noqa: BLE001 - reported by harness
+            self.error = exc
+            _break_barriers(self.start_barrier, self.mid_barrier,
+                            *self.hot_gates)
+        finally:
+            self.client.close()
+
+
+def _point_id(point: Dict[str, object]) -> str:
+    import json
+
+    return json.dumps(point, sort_keys=True)
+
+
+def _break_barriers(*barriers: threading.Barrier) -> None:
+    for barrier in barriers:
+        barrier.abort()
+
+
+def _run_one(shards: int, *, clients: int, points_per_client: int,
+             hot_points: int, instructions: int, seed: int,
+             workers_per_shard: int,
+             progress: Optional[Callable[[str], None]] = None,
+             ) -> Tuple[Dict[str, object], Dict[str, Dict[str, object]]]:
+    """One shard count: boot, drive, scrape, drain.  Returns the run row
+    plus every response body keyed by canonical point id."""
+    own = [build_points(points_per_client, instructions, seed, salt=c + 1)
+           for c in range(clients)]
+    hot = build_points(hot_points, instructions, seed, salt=0)
+    throughput_requests = clients * points_per_client
+    total_requests = throughput_requests + clients * hot_points
+
+    requests_per_key: Dict[str, int] = {}
+    for stream in own:
+        for point in stream:
+            requests_per_key[point_key(point)] = (
+                requests_per_key.get(point_key(point), 0) + 1)
+    hot_keys = [point_key(point) for point in hot]
+    for key in hot_keys:
+        requests_per_key[key] = requests_per_key.get(key, 0) + clients
+    unique_points = len(requests_per_key)
+
+    options = EngineOptions(
+        cache_enabled=False,
+        max_workers=shards * workers_per_shard,
+        shards=shards,
+    )
+    config = ServiceConfig(
+        host="127.0.0.1", port=0,
+        max_queue=max(256, total_requests),
+        batch_window=0.005,
+        request_timeout=600.0,
+        drain_timeout=120.0,
+        engine_options=options,
+        shards=shards,
+        offload=True,
+    )
+    server = create_server(config)
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     name="loadgen-serve", daemon=True)
+    server_thread.start()
+    port = server.server_address[1]
+
+    start = threading.Barrier(clients + 1)
+    mid = threading.Barrier(clients + 1)
+    hot_gates = [threading.Barrier(clients) for _ in hot]
+    workers = [
+        _ClientWorker(
+            index, ServiceClient(port=port, timeout=600.0),
+            own[index], hot, start, mid, hot_gates)
+        for index in range(clients)
+    ]
+    try:
+        for worker in workers:
+            worker.start()
+        start.wait(timeout=120)
+        wall_start = time.perf_counter()
+        mid.wait(timeout=600)
+        wall_seconds = time.perf_counter() - wall_start
+        for worker in workers:
+            worker.join(timeout=600)
+        errors = [w.error for w in workers if w.error is not None]
+        if errors:
+            raise RuntimeError(f"load generator client failed: {errors[0]}")
+
+        snapshot = ServiceClient(port=port, timeout=60.0).metrics()
+    finally:
+        server.drain_and_stop()
+        server_thread.join(timeout=10.0)
+        server.server_close()
+
+    per_shard = []
+    for entry in snapshot["shards"]:
+        per_shard.append({
+            "shard": entry["shard"],
+            "received": entry["service"]["received"],
+            "unique_submitted": entry["service"]["unique_submitted"],
+            "coalesced_inflight": entry["service"]["coalesced_inflight"],
+            "completed": entry["service"]["completed"],
+            "errors": entry["service"]["errors"],
+            "queue_depth": entry["service"]["queue_depth"],
+            "in_flight": entry["service"]["in_flight"],
+            "executed": entry["engine"]["executed"],
+            "batches": entry["batching"]["batches"],
+            "max_batch": entry["batching"]["max_batch"],
+            "p99_seconds": entry["latency"]["p99_seconds"],
+        })
+    expected = _expected_routing(requests_per_key, shards)
+    routing_ok = [row["received"] for row in per_shard] == expected
+
+    responses: Dict[str, Dict[str, object]] = {}
+    for worker in workers:
+        for point_id, body in worker.responses.items():
+            previous = responses.get(point_id)
+            if previous is not None and previous != body:
+                routing_ok = False  # same point answered two ways
+            responses[point_id] = body
+
+    service = snapshot["service"]
+    sim = snapshot["simulator"]
+    row: Dict[str, object] = {
+        "shards": shards,
+        "workers_per_shard": workers_per_shard,
+        "requests": total_requests,
+        "unique_points": unique_points,
+        "throughput": {
+            "requests": throughput_requests,
+            "wall_seconds": wall_seconds,
+            "requests_per_second": (
+                throughput_requests / wall_seconds if wall_seconds else 0.0),
+        },
+        "dedup": {
+            "hot_requests": clients * hot_points,
+            "hot_unique": hot_points,
+            "coalesced_inflight": service["coalesced_inflight"],
+            "unique_submitted": service["unique_submitted"],
+        },
+        "simulator": {
+            "runs": sim["runs"],
+            "instructions": sim["instructions"],
+        },
+        "errors": service["errors"],
+        "timeouts": service["timeouts"],
+        "rejected_saturation": service["rejected_saturation"],
+        "routing": {
+            "expected_received_per_shard": expected,
+            "observed_received_per_shard": [r["received"] for r in per_shard],
+            "ok": routing_ok,
+        },
+        "per_shard": per_shard,
+    }
+    if progress is not None:
+        progress(f"{shards} shard(s): "
+                 f"{row['throughput']['requests_per_second']:.1f} req/s "
+                 f"over {throughput_requests} points, "
+                 f"coalesced {service['coalesced_inflight']}")
+    return row, responses
+
+
+def run_service_bench(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    clients: int = 4,
+    points_per_client: int = 8,
+    hot_points: int = 2,
+    instructions: int = 4_000,
+    seed: int = 1,
+    workers_per_shard: int = 1,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the scaling benchmark; return the ``BENCH_service.json`` payload.
+
+    ``quick`` shrinks every axis for CI smoke: the structural guarantees
+    (bit-identity, routing, dedup) are still asserted at full strength,
+    only the statistical throughput signal shrinks.
+    """
+    if quick:
+        instructions = min(instructions, 800)
+        clients = min(clients, 3)
+        points_per_client = min(points_per_client, 4)
+        hot_points = min(hot_points, 2)
+        shard_counts = tuple(shard_counts)[:2] or (1, 2)
+    if not shard_counts:
+        raise ValueError("at least one shard count is required")
+    if any(count < 1 for count in shard_counts):
+        raise ValueError("shard counts must be positive")
+
+    runs: List[Dict[str, object]] = []
+    baseline_responses: Optional[Dict[str, Dict[str, object]]] = None
+    baseline_rate = 0.0
+    for count in shard_counts:
+        row, responses = _run_one(
+            count, clients=clients, points_per_client=points_per_client,
+            hot_points=hot_points, instructions=instructions, seed=seed,
+            workers_per_shard=workers_per_shard, progress=progress)
+        if baseline_responses is None:
+            baseline_responses = responses
+            baseline_rate = row["throughput"]["requests_per_second"]
+            row["bit_identical_vs_baseline"] = None
+            row["speedup_vs_baseline"] = 1.0
+        else:
+            row["bit_identical_vs_baseline"] = responses == baseline_responses
+            row["speedup_vs_baseline"] = (
+                row["throughput"]["requests_per_second"] / baseline_rate
+                if baseline_rate else 0.0)
+        runs.append(row)
+
+    best = max(runs, key=lambda r: r["shards"])
+    return {
+        "schema": 1,
+        "kind": "service-scaling",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "machine": _machine_info(),
+        "seed": seed,
+        "clients": clients,
+        "points_per_client": points_per_client,
+        "hot_points": hot_points,
+        "instructions_per_point": instructions,
+        "workers_per_shard": workers_per_shard,
+        "quick": quick,
+        "knobs": {
+            "cache_enabled": False,
+            "offload": True,
+            "routing": "content-address hash -> shard",
+        },
+        "shard_counts": list(shard_counts),
+        "runs": runs,
+        "scaling": {
+            "baseline_shards": runs[0]["shards"],
+            "max_shards": best["shards"],
+            "speedup_at_max_shards": best["speedup_vs_baseline"],
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    }
+
+
+def validate_service_payload(payload: Dict) -> List[str]:
+    """Sanity-check a service-scaling payload; return problems (CI gate).
+
+    Structural guarantees (bit-identity, routing, dedup accounting, no
+    errors) are unconditional.  The :data:`SPEEDUP_FLOOR` at >= 4 shards
+    is enforced only for non-quick payloads recorded on a host with >= 4
+    cores — a 1-core box cannot express shard scaling and its payload
+    says so through the machine provenance.
+    """
+    problems: List[str] = []
+    for key in ("schema", "kind", "git_sha", "machine", "runs", "scaling",
+                "clients", "instructions_per_point", "knobs"):
+        if key not in payload:
+            problems.append(f"missing key: {key}")
+    if problems:
+        return problems
+    if payload["kind"] != "service-scaling":
+        problems.append(f"unexpected kind {payload['kind']!r}")
+    if payload["knobs"].get("cache_enabled") is not False:
+        problems.append("throughput run must disable the result cache")
+    runs = payload["runs"]
+    if not runs:
+        problems.append("no runs recorded")
+        return problems
+    for row in runs:
+        label = f"run[{row.get('shards')} shards]"
+        if row.get("errors") or row.get("timeouts"):
+            problems.append(f"{label}: errors/timeouts recorded")
+        if row.get("rejected_saturation"):
+            problems.append(f"{label}: load generator saturated the queue")
+        routing = row.get("routing") or {}
+        if not routing.get("ok"):
+            problems.append(f"{label}: per-shard accounting does not match "
+                            "content-key routing")
+        dedup = row.get("dedup") or {}
+        if dedup.get("hot_requests", 0) > dedup.get("hot_unique", 0):
+            if dedup.get("coalesced_inflight", 0) <= 0:
+                problems.append(f"{label}: hot points never coalesced")
+        if len(row.get("per_shard") or []) != row.get("shards"):
+            problems.append(f"{label}: per-shard block count mismatch")
+        if row.get("bit_identical_vs_baseline") is False:
+            problems.append(f"{label}: responses diverged from baseline")
+    scaling = payload["scaling"]
+    cores = (payload["machine"] or {}).get("cpu_count") or 1
+    if (not payload.get("quick") and cores >= 4
+            and scaling.get("max_shards", 0) >= 4):
+        if scaling.get("speedup_at_max_shards", 0.0) < SPEEDUP_FLOOR:
+            problems.append(
+                f"speedup {scaling.get('speedup_at_max_shards'):.2f}x at "
+                f"{scaling.get('max_shards')} shards is under the "
+                f"{SPEEDUP_FLOOR}x floor on a {cores}-core host")
+    return problems
+
+
+def write_service_bench(payload: Dict,
+                        path: str = BENCH_SERVICE_FILENAME) -> str:
+    """Write the payload as stable, diff-friendly JSON."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+__all__ = [
+    "BENCH_SERVICE_FILENAME",
+    "SPEEDUP_FLOOR",
+    "build_points",
+    "point_key",
+    "run_service_bench",
+    "validate_service_payload",
+    "write_service_bench",
+]

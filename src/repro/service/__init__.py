@@ -11,10 +11,14 @@ Layers:
 
 * :mod:`repro.service.schema` — JSON payloads -> :class:`RunRequest`s;
 * :mod:`repro.service.batcher` — admission queue, in-flight dedup,
-  micro-batching, graceful drain;
-* :mod:`repro.service.metrics` — counters + latency percentiles;
+  micro-batching, graceful drain (one per shard);
+* :mod:`repro.service.shards` — the shard pool: content-address routing
+  across N (engine, batcher, metrics) triples;
+* :mod:`repro.service.metrics` — counters + latency percentiles,
+  per shard and merged;
 * :mod:`repro.service.server` — the HTTP layer and ``serve()`` loop;
-* :mod:`repro.service.client` — a stdlib client (tests, CI smoke).
+* :mod:`repro.service.client` — a stdlib keep-alive client (tests, CI
+  smoke, the ``repro bench --service`` load generator).
 """
 
 from repro.service.batcher import Draining, MicroBatcher, ResultTimeout, Saturated, Ticket
@@ -27,6 +31,7 @@ from repro.service.server import (
     create_server,
     serve,
 )
+from repro.service.shards import Shard, ShardPool, shard_for_key
 
 __all__ = [
     "Draining",
@@ -39,9 +44,12 @@ __all__ = [
     "ServiceConfig",
     "ServiceHTTPError",
     "ServiceMetrics",
+    "Shard",
+    "ShardPool",
     "Ticket",
     "create_server",
     "describe_result",
     "parse_run_payload",
     "serve",
+    "shard_for_key",
 ]

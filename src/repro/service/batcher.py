@@ -94,7 +94,8 @@ class MicroBatcher:
                  max_queue: int = 256,
                  max_batch: int = 64,
                  batch_window: float = 0.005,
-                 metrics: Optional[ServiceMetrics] = None) -> None:
+                 metrics: Optional[ServiceMetrics] = None,
+                 name: str = "repro-batcher") -> None:
         if max_queue < 1 or max_batch < 1:
             raise ValueError("max_queue and max_batch must be positive")
         self.engine = engine
@@ -111,7 +112,7 @@ class MicroBatcher:
         self._draining = False
         self._closed = False
         self._thread = threading.Thread(
-            target=self._loop, name="repro-batcher", daemon=True)
+            target=self._loop, name=name, daemon=True)
         self._thread.start()
 
     # -- admission (handler threads) -------------------------------------
@@ -131,37 +132,65 @@ class MicroBatcher:
         half-admitted sweep that it then has to untangle on a 429.
         """
         keyed = [(request.cache_key(), request) for request in requests]
-        with self._work:
+        with self.admission:
             if self._draining:
                 for _ in keyed:
                     self.metrics.rejected(draining=True)
                 raise Draining("service is draining; retry against a live replica")
-            fresh_keys = []
-            seen_in_batch = set()
-            for key, _ in keyed:
-                if (key not in self._pending and key not in self._executing
-                        and key not in seen_in_batch):
-                    fresh_keys.append(key)
-                    seen_in_batch.add(key)
-            room = self.max_queue - len(self._pending) - len(self._executing)
-            if len(fresh_keys) > room:
+            fresh = self.fresh_slots_needed([key for key, _ in keyed])
+            room = self.free_slots()
+            if fresh > room:
                 for _ in keyed:
                     self.metrics.rejected(draining=False)
                 raise Saturated(
                     f"admission queue full ({self.max_queue} points in "
-                    f"flight; sweep needs {len(fresh_keys)} new slots, "
+                    f"flight; sweep needs {fresh} new slots, "
                     f"{max(room, 0)} free)")
-            tickets = []
-            for key, request in keyed:
-                ticket = self._pending.get(key) or self._executing.get(key)
-                coalesced = ticket is not None
-                if ticket is None:
-                    ticket = Ticket(key, request)
-                    self._pending[key] = ticket
-                tickets.append(ticket)
-                self.metrics.admitted(coalesced=coalesced)
-            self._work.notify()
-            return tickets
+            return self.admit(keyed)
+
+    # -- lock-held admission primitives -----------------------------------
+    # The shard pool admits one sweep across several batchers atomically
+    # by holding every involved ``admission`` condition (in shard order)
+    # while it checks room and inserts tickets.  These helpers assume the
+    # caller holds ``self.admission``; ``submit_many`` above is the
+    # single-batcher composition of the same pieces.
+    @property
+    def admission(self) -> threading.Condition:
+        """The admission lock (a context manager); hold it across any
+        sequence of the ``*_locked``-style helpers below."""
+        return self._work
+
+    def free_slots(self) -> int:
+        """Admission slots currently free (caller holds ``admission``)."""
+        return self.max_queue - len(self._pending) - len(self._executing)
+
+    def fresh_slots_needed(self, keys: Sequence[str]) -> int:
+        """Distinct keys in ``keys`` not already in flight here (caller
+        holds ``admission``)."""
+        fresh = set()
+        for key in keys:
+            if key not in self._pending and key not in self._executing:
+                fresh.add(key)
+        return len(fresh)
+
+    def reject_all(self, count: int, draining: bool) -> None:
+        """Account ``count`` rejected points (caller holds ``admission``)."""
+        for _ in range(count):
+            self.metrics.rejected(draining=draining)
+
+    def admit(self, keyed: Sequence[Tuple[str, RunRequest]]) -> List[Ticket]:
+        """Insert/coalesce pre-checked points (caller holds ``admission``)."""
+        tickets = []
+        for key, request in keyed:
+            ticket = self._pending.get(key) or self._executing.get(key)
+            coalesced = ticket is not None
+            if ticket is None:
+                ticket = Ticket(key, request)
+                self._pending[key] = ticket
+            tickets.append(ticket)
+            self.metrics.admitted(coalesced=coalesced)
+        self._work.notify()
+        return tickets
 
     def call(self, fn: Callable[[], object]) -> Ticket:
         """Run ``fn`` on the batching thread (between batches).

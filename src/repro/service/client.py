@@ -1,16 +1,41 @@
 """A minimal stdlib client for the simulation service.
 
-Used by the integration tests and the CI ``service-smoke`` job; also the
-reference for how to talk to the service from any HTTP client.  One
-:class:`ServiceClient` is safe to share across threads — every call opens
-its own connection.
+Used by the integration tests, the CI ``service-smoke`` jobs, and the
+``repro bench --service`` load generator; also the reference for how to
+talk to the service from any HTTP client.  One :class:`ServiceClient` is
+safe to share across threads — each thread keeps its **own persistent
+keep-alive connection** (the server speaks HTTP/1.1 with explicit
+``Content-Length``, so connections are reusable), which matters once a
+load generator drives thousands of requests: without reuse, every
+request pays a TCP handshake and the client side bleeds ephemeral ports
+in ``TIME_WAIT``.
+
+A request that finds its cached connection dead (server restarted,
+keep-alive timeout, drain) transparently reconnects and retries once.
+Retrying is sound here because the service's write path is idempotent by
+construction: a design point is content-addressed, so a re-submitted
+request coalesces onto the in-flight entry (or hits the cache) instead
+of running twice.
 """
 
 import json
-from http.client import HTTPConnection
+import threading
+from http.client import (
+    BadStatusLine,
+    CannotSendRequest,
+    HTTPConnection,
+    ResponseNotReady,
+)
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
+
+#: Connection-level failures that mean "stale keep-alive socket": safe to
+#: reconnect and retry exactly once.  ``ConnectionError`` covers reset /
+#: refused / aborted; the ``http.client`` states cover a connection the
+#: server half-closed between our requests.
+_RETRYABLE = (ConnectionError, BadStatusLine, CannotSendRequest,
+              ResponseNotReady, BrokenPipeError)
 
 
 class ServiceHTTPError(ServiceError):
@@ -30,25 +55,64 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
 
     # -- transport --------------------------------------------------------
+    def _connection(self) -> HTTPConnection:
+        """This thread's persistent connection, created on first use."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close *this thread's* cached connection (each thread owns its
+        own; a shared client is fully closed once every using thread —
+        or the client itself — is garbage collected)."""
+        self._drop_connection()
+
+    def _exchange(self, method: str, path: str, payload: Optional[bytes],
+                  headers: Dict[str, str]) -> Tuple[int, Dict[str, object]]:
+        connection = self._connection()
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        if response.will_close:
+            self._drop_connection()
+        decoded = json.loads(raw) if raw else {}
+        return response.status, decoded
+
     def request(self, method: str, path: str,
                 body: Optional[Dict] = None) -> Tuple[int, Dict[str, object]]:
-        """One HTTP exchange; returns (status, decoded JSON body)."""
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        """One HTTP exchange on the keep-alive connection; returns
+        (status, decoded JSON body)."""
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
         try:
-            payload = None
-            headers = {}
-            if body is not None:
-                payload = json.dumps(body).encode()
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            decoded = json.loads(raw) if raw else {}
-            return response.status, decoded
-        finally:
-            connection.close()
+            return self._exchange(method, path, payload, headers)
+        except _RETRYABLE:
+            # The cached connection went stale between requests; one
+            # reconnect, one retry.  Errors on the fresh connection are
+            # real and propagate.
+            self._drop_connection()
+            return self._exchange(method, path, payload, headers)
+        except Exception:
+            self._drop_connection()
+            raise
 
     def _checked(self, method: str, path: str,
                  body: Optional[Dict] = None) -> Dict[str, object]:
@@ -75,6 +139,12 @@ class ServiceClient:
         body.update(extra)
         path = "/run?counters=1" if counters else "/run"
         return self._checked("POST", path, body)
+
+    def run_point(self, point: Dict[str, object],
+                  counters: bool = False) -> Dict[str, object]:
+        """POST one already-built run payload verbatim (load generator)."""
+        path = "/run?counters=1" if counters else "/run"
+        return self._checked("POST", path, dict(point))
 
     def sweep(self, points: List[Dict], defaults: Optional[Dict] = None,
               counters: bool = False) -> Dict[str, object]:

@@ -8,13 +8,19 @@ for ``GET /metrics`` directly.
 
 import math
 import threading
+import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 #: How many recent request latencies feed the percentile estimates.
 LATENCY_RESERVOIR = 2048
 #: How many recent batch sizes feed the batch-shape stats.
 BATCH_RESERVOIR = 512
+#: How many recent completion timestamps feed the drain-rate estimate.
+DRAIN_RESERVOIR = 256
+#: Completions older than this (seconds) no longer count toward the
+#: drain rate — the 429 hint must reflect *current* throughput.
+DRAIN_WINDOW_SECONDS = 30.0
 
 #: Percentiles reported by ``/metrics``.
 PERCENTILES = (50, 90, 99)
@@ -57,6 +63,7 @@ class ServiceMetrics:
         self.max_batch = 0
         self._batch_sizes: Deque[int] = deque(maxlen=BATCH_RESERVOIR)
         self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._finish_times: Deque[float] = deque(maxlen=DRAIN_RESERVOIR)
         # Simulator gauges, folded from every result the service returned
         # (cache hits included: the client received those cycles too).
         self.sim_runs = 0
@@ -89,6 +96,23 @@ class ServiceMetrics:
             else:
                 self.completed += 1
             self._latencies.append(latency_seconds)
+            self._finish_times.append(time.monotonic())
+
+    def drain_rate(self, now: Optional[float] = None,
+                   window: float = DRAIN_WINDOW_SECONDS) -> float:
+        """Resolved design points per second over the recent ``window``.
+
+        0.0 means "no completion evidence yet" — callers must fall back
+        to a default hint rather than dividing by this.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            recent = [t for t in self._finish_times if now - t <= window]
+        if len(recent) < 2:
+            return 0.0
+        span = max(now - recent[0], 1e-9)
+        return len(recent) / span
 
     def timed_out(self) -> None:
         with self._lock:
@@ -163,3 +187,38 @@ class ServiceMetrics:
         if engine_stats is not None:
             payload["engine"] = dict(engine_stats)
         return payload
+
+    # -- aggregation ------------------------------------------------------
+    #: Cumulative integer counters summed by :meth:`merged`.
+    _SUMMED = (
+        "received", "unique_submitted", "coalesced_inflight",
+        "rejected_saturation", "rejected_draining",
+        "completed", "errors", "timeouts",
+        "batches",
+        "sim_runs", "sim_instructions", "sim_cycles", "sim_replays",
+        "traced_runs", "traced_events",
+    )
+
+    @classmethod
+    def merged(cls, parts: Iterable["ServiceMetrics"]) -> "ServiceMetrics":
+        """One metrics object folding several shards' accounting.
+
+        Counters sum, ``max_batch`` takes the max, and the latency/batch
+        reservoirs concatenate (interleaving across shards is lost, which
+        only perturbs which samples age out of the bounded deques — the
+        percentile estimate stays an honest sample of recent requests).
+        The merge reads each part under its own lock; the result is a
+        detached snapshot, safe to :meth:`snapshot` without racing.
+        """
+        merged = cls()
+        for part in parts:
+            with part._lock:
+                for name in cls._SUMMED:
+                    setattr(merged, name, getattr(merged, name) + getattr(part, name))
+                merged.max_batch = max(merged.max_batch, part.max_batch)
+                merged._batch_sizes.extend(part._batch_sizes)
+                merged._latencies.extend(part._latencies)
+                merged._finish_times.extend(part._finish_times)
+        merged._finish_times = deque(sorted(merged._finish_times),
+                                     maxlen=DRAIN_RESERVOIR)
+        return merged

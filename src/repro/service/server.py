@@ -3,8 +3,9 @@
 Stdlib only: :class:`http.server.ThreadingHTTPServer` accepts concurrent
 clients, each handler thread normalizes its payload into the engine's
 content-address space (:mod:`repro.service.schema`), admits it to the
-micro-batching queue (:mod:`repro.service.batcher`), and blocks on the
-shared ticket.  Endpoints:
+shard pool (:mod:`repro.service.shards` — N micro-batching queues, each
+owning a private engine, routed by content-address hash), and blocks on
+the shared ticket.  Endpoints:
 
 ========================  =====================================================
 ``POST /run``             one design point -> summary (``?counters=1`` for all;
@@ -14,11 +15,13 @@ shared ticket.  Endpoints:
 ``GET /experiment/<id>``  re-render one paper artifact through the engine
 ``GET /metrics``          queue depth, batch shape, dedup/cache rates, latency,
                           simulator gauges (instructions/cycles/replays served)
+                          — aggregated totals plus one block per shard
 ``GET /healthz``          200 ok / 503 draining
 ========================  =====================================================
 
 Backpressure is explicit: a full admission queue answers **429** with a
-``Retry-After`` hint, a draining service answers **503**, and a request
+``Retry-After`` hint derived from current queue depth and the recently
+observed drain rate, a draining service answers **503**, and a request
 that outlives the per-request timeout answers **503** while its
 simulation keeps running for the benefit of the cache and any later
 retry.  ``SIGTERM``/``SIGINT`` stop admissions, drain every in-flight
@@ -37,14 +40,15 @@ from urllib.parse import parse_qs, urlparse
 from repro.errors import ServiceError, SimulationError
 from repro.exec.engine import ExecutionEngine, set_engine, use_engine
 from repro.exec.options import EngineOptions
-from repro.service.batcher import Draining, MicroBatcher, ResultTimeout, Saturated
-from repro.service.metrics import ServiceMetrics
+from repro.exec.request import RunRequest
+from repro.service.batcher import Draining, ResultTimeout, Saturated
 from repro.service.schema import (
     SchemaError,
     describe_result,
     parse_run_payload,
     parse_trace_flag,
 )
+from repro.service.shards import ShardPool
 
 #: Hard cap on request body size (a sweep of ~4k explicit spec points).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -58,16 +62,34 @@ class ServiceConfig:
 
     host: str = "127.0.0.1"
     port: int = 8351
-    max_queue: int = 256          # admission bound (pending + executing)
-    max_batch: int = 64           # engine batch ceiling
+    max_queue: int = 256          # total admission bound (pending + executing)
+    max_batch: int = 64           # engine batch ceiling, per shard
     batch_window: float = 0.005   # seconds a batch may accumulate
     request_timeout: float = 120.0  # per-request wait before 503
     drain_timeout: float = 60.0   # SIGTERM drain bound
     engine_options: EngineOptions = field(default_factory=EngineOptions.from_env)
+    #: Shard count; ``None`` defers to ``engine_options.resolve_shards()``
+    #: (the ``REPRO_SHARDS`` environment default, 1 when unset).
+    shards: Optional[int] = None
+    #: Force simulations onto worker processes even for singleton batches;
+    #: ``None`` means "when sharded" (see :class:`ShardPool`).
+    offload: Optional[bool] = None
+
+    def resolve_shards(self) -> int:
+        if self.shards is not None:
+            return max(1, self.shards)
+        return self.engine_options.resolve_shards()
 
 
 class ReproService(ThreadingHTTPServer):
-    """HTTP server owning one engine, one batcher, one metrics registry."""
+    """HTTP server dispatching to a pool of engine shards.
+
+    ``self.shards`` is the :class:`ShardPool`; ``self.batcher`` and
+    ``self.metrics`` stay as the pool-backed facades older callers and
+    the tests use (aggregate depth/drain/close, merged counters).
+    ``self.engine`` is shard 0's engine — the pool primary that also
+    serves experiment re-rendering and traced runs.
+    """
 
     daemon_threads = True
     # The socketserver default backlog (5) resets connections under the
@@ -77,16 +99,18 @@ class ReproService(ThreadingHTTPServer):
     def __init__(self, config: ServiceConfig,
                  engine: Optional[ExecutionEngine] = None) -> None:
         self.config = config
-        self.engine = engine if engine is not None else ExecutionEngine(
-            options=config.engine_options)
-        self.metrics = ServiceMetrics()
-        self.batcher = MicroBatcher(
-            self.engine,
+        self.shards = ShardPool.build(
+            config.resolve_shards(),
+            config.engine_options,
             max_queue=config.max_queue,
             max_batch=config.max_batch,
             batch_window=config.batch_window,
-            metrics=self.metrics,
+            offload=config.offload,
+            engine=engine,
         )
+        self.engine = self.shards.shards[0].engine
+        self.batcher = self.shards
+        self.metrics = self.shards.metrics
         self._active = 0
         self._active_lock = threading.Lock()
         self._active_idle = threading.Condition(self._active_lock)
@@ -114,22 +138,44 @@ class ReproService(ThreadingHTTPServer):
         return True
 
     # -- metrics ----------------------------------------------------------
+    def observe_result(self, request: RunRequest, result,
+                       traced: bool = False, events: int = 0) -> None:
+        """Fold one returned result into its *home shard's* gauges, so
+        per-shard simulator accounting matches per-shard routing."""
+        shard = self.shards.shard_for(request.cache_key())
+        shard.metrics.observe_simulation(result, traced=traced, events=events)
+
     def metrics_snapshot(self) -> Dict[str, object]:
-        pending, executing = self.batcher.depth()
-        return self.metrics.snapshot(
+        """Aggregated totals (the pre-sharding schema) plus a ``shards``
+        list with the same blocks per shard."""
+        pending, executing = self.shards.depth()
+        snapshot = self.shards.merged_metrics().snapshot(
             queue_depth=pending,
             in_flight=executing,
-            engine_stats=self.engine.stats.summary(),
-            draining=self.batcher.draining,
+            engine_stats=self.shards.engine_stats(),
+            draining=self.shards.draining,
         )
+        per_shard: List[Dict[str, object]] = []
+        for shard in self.shards.shards:
+            shard_pending, shard_executing = shard.depth()
+            entry = shard.metrics.snapshot(
+                queue_depth=shard_pending,
+                in_flight=shard_executing,
+                engine_stats=shard.engine.stats.summary(),
+                draining=shard.batcher.draining,
+            )
+            entry["shard"] = shard.index
+            per_shard.append(entry)
+        snapshot["shards"] = per_shard
+        return snapshot
 
     # -- shutdown ---------------------------------------------------------
     def drain_and_stop(self) -> bool:
         """Graceful shutdown: admissions off, in-flight work completes."""
-        drained = self.batcher.drain(timeout=self.config.drain_timeout)
+        drained = self.shards.drain(timeout=self.config.drain_timeout)
         handlers_done = self.wait_requests_done(timeout=self.config.drain_timeout)
         self.shutdown()
-        self.batcher.close(timeout=1.0)
+        self.shards.close(timeout=1.0)
         return drained and handlers_done
 
 
@@ -206,8 +252,9 @@ class RequestHandler(BaseHTTPRequestHandler):
         if isinstance(exc, SchemaError):
             self._reply(400, {"error": str(exc)})
         elif isinstance(exc, Saturated):
+            hint = self.server.shards.retry_after_hint()
             self._reply(429, {"error": str(exc)},
-                        headers=(("Retry-After", "1"),))
+                        headers=(("Retry-After", str(hint)),))
         elif isinstance(exc, (Draining, ResultTimeout)):
             if isinstance(exc, ResultTimeout):
                 self.server.metrics.timed_out()
@@ -233,24 +280,24 @@ class RequestHandler(BaseHTTPRequestHandler):
         if trace:
             # A traced point always simulates (the event stream is a
             # per-run observation, never cached), so it runs as a direct
-            # call on the batching thread — the one thread that may touch
-            # the engine's machinery — like ``GET /experiment/<id>``.
+            # call on the pool primary's batching thread — the one thread
+            # that may touch that engine — like ``GET /experiment/<id>``.
             from repro.obs.profile import profile_request
 
-            ticket = self.server.batcher.call(lambda: profile_request(request))
+            ticket = self.server.shards.call(lambda: profile_request(request))
             result, digest = ticket.result(
                 timeout=self.server.config.request_timeout)
             payload = describe_result(request, result,
                                       counters=self._want_counters(query))
             payload["trace"] = digest
-            self.server.metrics.observe_simulation(
-                result, traced=True,
+            self.server.observe_result(
+                request, result, traced=True,
                 events=int(digest.get("events_emitted", 0)))
             self._reply(200, payload)
             return
-        ticket = self.server.batcher.submit(request)
+        ticket = self.server.shards.submit(request)
         result = ticket.result(timeout=self.server.config.request_timeout)
-        self.server.metrics.observe_simulation(result)
+        self.server.observe_result(request, result)
         self._reply(200, describe_result(request, result,
                                          counters=self._want_counters(query)))
 
@@ -274,12 +321,12 @@ class RequestHandler(BaseHTTPRequestHandler):
                 "'trace' is only supported on POST /run — a traced point "
                 "always simulates, which defeats sweep deduplication")
         requests = [parse_run_payload(point, defaults) for point in points]
-        tickets = self.server.batcher.submit_many(requests)
+        tickets = self.server.shards.submit_many(requests)
         timeout = self.server.config.request_timeout
         counters = self._want_counters(query)
         completed = [ticket.result(timeout=timeout) for ticket in tickets]
-        for result in completed:
-            self.server.metrics.observe_simulation(result)
+        for request, result in zip(requests, completed):
+            self.server.observe_result(request, result)
         results = [
             describe_result(request, result, counters=counters)
             for request, result in zip(requests, completed)
@@ -301,13 +348,13 @@ class RequestHandler(BaseHTTPRequestHandler):
 
         def render() -> str:
             # Experiments resolve the process-wide engine; pin it to the
-            # service's for the duration (we are on the batching thread,
-            # the only thread that ever touches the engine).
+            # pool primary's for the duration (we are on that shard's
+            # batching thread, the only thread that ever touches it).
             with use_engine(self.server.engine):
                 _, text = run_experiment(exp_id, **kwargs)
             return text
 
-        ticket = self.server.batcher.call(render)
+        ticket = self.server.shards.call(render)
         text = ticket.result(timeout=self.server.config.request_timeout)
         self._reply(200, {"id": exp_id, "artifact": text})
 
@@ -347,6 +394,9 @@ def serve(config: Optional[ServiceConfig] = None,
     thread.start()
     # The one line tooling may parse: the bound address.
     print(f"repro serve: listening on http://{host}:{port}", flush=True)
+    print(f"service: {len(server.shards)} shard(s) x "
+          f"{server.engine.max_workers} worker(s), routing by content key",
+          file=sys.stderr)
     try:
         stop.wait()
     finally:

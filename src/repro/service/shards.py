@@ -1,0 +1,307 @@
+"""The shard pool: N engines + N micro-batchers behind one HTTP frontend.
+
+One :class:`MicroBatcher` owning one :class:`ExecutionEngine` caps
+service throughput at roughly one core however many clients arrive.  A
+:class:`ShardPool` runs N such (engine, batcher, metrics) triples and
+routes every design point by its **content-address hash**, which gives
+the scaling refactor its central invariant:
+
+    one content key -> one shard, always.
+
+Because routing is a pure function of the engine cache key, in-flight
+dedup, micro-batch coalescing, and the in-process memo stay entirely
+shard-local — two clients asking for the same point always land on the
+same shard and share one simulation, and no cross-shard coordination
+(locks on the engine, a shared memo, a distributed dedup map) is ever
+needed.  The disk result cache *is* shared across shards: its writes are
+atomic (tmp + rename), and a racy double-write of the same key is
+byte-identical by construction.
+
+Sweep admission stays all-or-nothing across shards: the pool holds every
+involved shard's admission lock (in shard order, so two concurrent
+sweeps cannot deadlock) while it checks room everywhere and only then
+inserts tickets anywhere.
+
+Shard engines are built with ``offload=True`` when the pool has more
+than one shard: every simulation then runs in the shard's own worker
+process, so N shards occupy N cores instead of contending for the
+frontend's GIL.
+"""
+
+import threading
+from contextlib import ExitStack
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.engine import ExecutionEngine
+from repro.exec.options import EngineOptions
+from repro.exec.request import RunRequest
+from repro.service.batcher import Draining, MicroBatcher, Saturated, Ticket
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["Shard", "ShardPool", "shard_for_key"]
+
+#: Hex digits of the content key consumed by the router.  16 nibbles of
+#: sha256 are uniform far beyond any realistic shard count.
+_ROUTE_NIBBLES = 16
+
+#: ``Retry-After`` ceiling — past this the client should re-plan, not wait.
+MAX_RETRY_AFTER = 60
+#: ``Retry-After`` floor and the no-evidence fallback.
+MIN_RETRY_AFTER = 1
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """Deterministic shard index for one engine cache key.
+
+    A pure function of (key, shard count): clients, tests, and the load
+    generator can all predict placement, and a restarted service routes
+    identically — which is what keeps dedup accounting shard-local.
+    """
+    if shards <= 1:
+        return 0
+    return int(key[:_ROUTE_NIBBLES], 16) % shards
+
+
+@dataclass
+class Shard:
+    """One slice of the pool: a private engine, batcher, and metrics."""
+
+    index: int
+    engine: ExecutionEngine
+    batcher: MicroBatcher
+    metrics: ServiceMetrics
+
+    def depth(self) -> Tuple[int, int]:
+        return self.batcher.depth()
+
+
+class _PoolMetricsView:
+    """``server.metrics``-compatible facade over per-shard accounting.
+
+    Attribute reads (``received``, ``completed``, ``rejected_saturation``
+    ...) answer freshly merged totals across every shard; ``timed_out``
+    records on the pool's own ledger (a timeout is observed by the HTTP
+    frontend, not by any one shard).
+    """
+
+    def __init__(self, pool: "ShardPool") -> None:
+        self._pool = pool
+
+    def timed_out(self) -> None:
+        self._pool.frontend_metrics.timed_out()
+
+    def __getattr__(self, name: str):
+        return getattr(self._pool.merged_metrics(), name)
+
+
+class ShardPool:
+    """Routes design points to N shard batchers by content-address hash."""
+
+    def __init__(self, shards: Sequence[Shard]) -> None:
+        if not shards:
+            raise ValueError("a shard pool needs at least one shard")
+        self.shards = list(shards)
+        #: Frontend-side accounting that belongs to no shard (timeouts).
+        self.frontend_metrics = ServiceMetrics()
+        self.metrics = _PoolMetricsView(self)
+        self._draining = False
+        self._drain_lock = threading.Lock()
+
+    @classmethod
+    def build(cls, count: int, options: EngineOptions, *,
+              max_queue: int, max_batch: int, batch_window: float,
+              offload: Optional[bool] = None,
+              engine: Optional[ExecutionEngine] = None) -> "ShardPool":
+        """A pool of ``count`` shards, each with its own engine.
+
+        ``max_queue`` is the *total* admission bound, divided evenly
+        (each shard gets at least one slot).  ``offload`` defaults to
+        ``count > 1`` — a single-shard pool keeps the original in-process
+        execution path.  An explicit ``engine`` (tests inject stubs) is
+        only meaningful for a single shard: a shared engine across shards
+        would reintroduce exactly the cross-shard races sharding removes.
+        """
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if engine is not None and count > 1:
+            raise ValueError(
+                "an explicit engine implies one shard; a shared engine "
+                "across shards would race")
+        if offload is None:
+            offload = count > 1
+        per_shard_queue = max(1, max_queue // count)
+        shards = []
+        for index in range(count):
+            shard_engine = engine if engine is not None else ExecutionEngine(
+                options=options,
+                max_workers=options.workers_per_shard(),
+                offload=offload,
+            )
+            metrics = ServiceMetrics()
+            batcher = MicroBatcher(
+                shard_engine,
+                max_queue=per_shard_queue,
+                max_batch=max_batch,
+                batch_window=batch_window,
+                metrics=metrics,
+                name=f"repro-batcher-{index}",
+            )
+            shards.append(Shard(index, shard_engine, batcher, metrics))
+        return cls(shards)
+
+    # -- routing ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def route(self, key: str) -> int:
+        return shard_for_key(key, len(self.shards))
+
+    def shard_for(self, key: str) -> Shard:
+        return self.shards[self.route(key)]
+
+    # -- admission --------------------------------------------------------
+    def submit(self, request: RunRequest) -> Ticket:
+        """Admit one design point on its home shard."""
+        return self.shard_for(request.cache_key()).batcher.submit(request)
+
+    def submit_many(self, requests: Sequence[RunRequest]) -> List[Ticket]:
+        """Admit a sweep atomically across every involved shard.
+
+        The pool takes the involved shards' admission locks in shard
+        order, checks draining and room on all of them, and only then
+        inserts tickets on any — so a sweep that does not fit somewhere
+        is rejected wholesale with nothing admitted anywhere, exactly
+        the single-batcher all-or-nothing contract.
+        """
+        keyed = [(request.cache_key(), request) for request in requests]
+        groups: Dict[int, List[Tuple[str, RunRequest]]] = {}
+        for key, request in keyed:
+            groups.setdefault(self.route(key), []).append((key, request))
+        ordered = sorted(groups)
+        with ExitStack() as stack:
+            for index in ordered:
+                stack.enter_context(self.shards[index].batcher.admission)
+            if any(self.shards[index].batcher.draining for index in ordered):
+                for index in ordered:
+                    self.shards[index].batcher.reject_all(
+                        len(groups[index]), draining=True)
+                raise Draining(
+                    "service is draining; retry against a live replica")
+            shortfalls = []
+            for index in ordered:
+                batcher = self.shards[index].batcher
+                fresh = batcher.fresh_slots_needed(
+                    [key for key, _ in groups[index]])
+                room = batcher.free_slots()
+                if fresh > room:
+                    shortfalls.append((index, fresh, max(room, 0)))
+            if shortfalls:
+                for index in ordered:
+                    self.shards[index].batcher.reject_all(
+                        len(groups[index]), draining=False)
+                detail = ", ".join(
+                    f"shard {index} needs {fresh} new slots, {room} free"
+                    for index, fresh, room in shortfalls)
+                raise Saturated(f"admission queue full ({detail})")
+            ticket_by_key: Dict[str, Ticket] = {}
+            for index in ordered:
+                batcher = self.shards[index].batcher
+                for (key, _), ticket in zip(
+                        groups[index], batcher.admit(groups[index])):
+                    ticket_by_key[key] = ticket
+        return [ticket_by_key[key] for key, _ in keyed]
+
+    def call(self, fn: Callable[[], object]) -> Ticket:
+        """Run ``fn`` on shard 0's batching thread.
+
+        Shard 0 is the pool's "primary": its engine doubles as the
+        process-wide default (``set_engine``), so experiment re-rendering
+        and traced runs keep the single-threaded engine contract.
+        """
+        return self.shards[0].batcher.call(fn)
+
+    # -- gauges -----------------------------------------------------------
+    def depth(self) -> Tuple[int, int]:
+        """(pending, executing) summed across shards."""
+        pending = executing = 0
+        for shard in self.shards:
+            p, e = shard.depth()
+            pending += p
+            executing += e
+        return pending, executing
+
+    def merged_metrics(self) -> ServiceMetrics:
+        """Aggregate accounting: every shard plus the frontend ledger."""
+        return ServiceMetrics.merged(
+            [shard.metrics for shard in self.shards] + [self.frontend_metrics])
+
+    def engine_stats(self) -> Dict[str, float]:
+        """Per-field sum of every shard engine's cumulative stats, with
+        the derived ``hit_rate`` recomputed over the summed counts."""
+        total: Dict[str, float] = {}
+        for shard in self.shards:
+            for name, value in shard.engine.stats.summary().items():
+                total[name] = total.get(name, 0) + value
+        unique = total.get("unique", 0)
+        total["hit_rate"] = (
+            (total.get("memo_hits", 0) + total.get("disk_hits", 0)) / unique
+            if unique else 0.0)
+        return total
+
+    def retry_after_hint(self) -> int:
+        """Seconds a 429'd client should wait, from queue depth and the
+        recently observed drain rate.
+
+        ``ceil(in-flight points / points-per-second)`` clamped to
+        [MIN_RETRY_AFTER, MAX_RETRY_AFTER]; with no completion evidence
+        yet (cold service, everything still executing) the honest answer
+        is unknown, so the hint falls back to the floor rather than
+        inventing a rate.
+        """
+        pending, executing = self.depth()
+        depth = pending + executing
+        rate = self.merged_metrics().drain_rate()
+        if depth <= 0:
+            return MIN_RETRY_AFTER
+        if rate <= 0.0:
+            return MIN_RETRY_AFTER
+        hint = -(-depth // max(rate, 1e-9))  # ceil division
+        return int(min(max(hint, MIN_RETRY_AFTER), MAX_RETRY_AFTER))
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining or any(
+            shard.batcher.draining for shard in self.shards)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admissions everywhere; wait for every shard to empty.
+
+        Shards drain concurrently — the bound is ``timeout`` overall,
+        not per shard.
+        """
+        with self._drain_lock:
+            self._draining = True
+        outcomes: List[bool] = [False] * len(self.shards)
+
+        def _drain(index: int) -> None:
+            outcomes[index] = self.shards[index].batcher.drain(timeout=timeout)
+
+        threads = [threading.Thread(target=_drain, args=(index,),
+                                    name=f"drain-shard-{index}", daemon=True)
+                   for index in range(len(self.shards))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return all(outcomes)
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        drained = self.drain(timeout)
+        for shard in self.shards:
+            shard.batcher.close(timeout=1.0)
+            close_engine = getattr(shard.engine, "close", None)
+            if close_engine is not None:  # test stubs may have no pool
+                close_engine()
+        return drained

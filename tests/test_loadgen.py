@@ -1,0 +1,132 @@
+"""The service load generator and its ``BENCH_service.json`` contract.
+
+A real (tiny) run: boot the service at 1 and 2 shards, drive it with
+concurrent keep-alive clients, and check the payload proves what the
+committed benchmark claims — bit-identical responses, routing-consistent
+per-shard accounting, shard-local dedup — and that the validator rejects
+payloads where any of those guarantees broke.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.loadgen import (
+    build_points,
+    point_key,
+    run_service_bench,
+    validate_service_payload,
+    write_service_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One tiny end-to-end run shared by every assertion below."""
+    return run_service_bench(
+        shard_counts=(1, 2), clients=2, points_per_client=2,
+        hot_points=1, instructions=500, seed=3, workers_per_shard=1,
+        quick=True)
+
+
+class TestBuildPoints:
+    def test_points_are_distinct_and_deterministic(self):
+        points = build_points(12, instructions=500, seed=3, salt=1)
+        assert points == build_points(12, instructions=500, seed=3, salt=1)
+        assert len({point_key(p) for p in points}) == 12
+
+    def test_salts_keep_client_streams_disjoint(self):
+        a = {point_key(p) for p in build_points(8, 500, seed=3, salt=1)}
+        b = {point_key(p) for p in build_points(8, 500, seed=3, salt=2)}
+        assert not (a & b)
+
+
+class TestServiceBench:
+    def test_payload_validates_clean(self, payload):
+        assert validate_service_payload(payload) == []
+
+    def test_runs_cover_requested_shard_counts(self, payload):
+        assert [run["shards"] for run in payload["runs"]] == [1, 2]
+        for run in payload["runs"]:
+            assert len(run["per_shard"]) == run["shards"]
+            assert run["errors"] == 0 and run["timeouts"] == 0
+
+    def test_responses_bit_identical_across_shard_counts(self, payload):
+        assert payload["runs"][0]["bit_identical_vs_baseline"] is None
+        assert payload["runs"][1]["bit_identical_vs_baseline"] is True
+
+    def test_per_shard_accounting_matches_client_side_routing(self, payload):
+        for run in payload["runs"]:
+            routing = run["routing"]
+            assert routing["ok"] is True
+            assert (routing["observed_received_per_shard"]
+                    == routing["expected_received_per_shard"])
+            assert sum(routing["observed_received_per_shard"]) \
+                == run["requests"]
+
+    def test_hot_points_coalesced_in_flight(self, payload):
+        for run in payload["runs"]:
+            dedup = run["dedup"]
+            assert dedup["hot_requests"] > dedup["hot_unique"]
+            assert dedup["coalesced_inflight"] > 0
+            # Shard-local dedup: unique submissions never exceed the
+            # distinct content keys in the workload.
+            assert dedup["unique_submitted"] <= run["unique_points"]
+
+    def test_provenance_fields_present(self, payload):
+        assert payload["schema"] == 1
+        assert payload["kind"] == "service-scaling"
+        assert payload["machine"]["cpu_count"] >= 1
+        assert payload["knobs"]["cache_enabled"] is False
+        assert payload["scaling"]["baseline_shards"] == 1
+
+    def test_written_file_round_trips(self, payload, tmp_path):
+        path = write_service_bench(payload, str(tmp_path / "BENCH.json"))
+        assert json.loads((tmp_path / "BENCH.json").read_text()) \
+            == json.loads(json.dumps(payload))
+        assert path.endswith("BENCH.json")
+
+
+class TestValidator:
+    def test_rejects_response_divergence(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["runs"][1]["bit_identical_vs_baseline"] = False
+        assert any("diverged" in problem
+                   for problem in validate_service_payload(broken))
+
+    def test_rejects_routing_mismatch(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["runs"][0]["routing"]["ok"] = False
+        assert any("routing" in problem
+                   for problem in validate_service_payload(broken))
+
+    def test_rejects_cached_throughput_runs(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["knobs"]["cache_enabled"] = True
+        assert any("cache" in problem
+                   for problem in validate_service_payload(broken))
+
+    def test_rejects_errors_and_saturation(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["runs"][0]["errors"] = 2
+        broken["runs"][1]["rejected_saturation"] = 1
+        problems = validate_service_payload(broken)
+        assert any("errors" in problem for problem in problems)
+        assert any("saturated" in problem for problem in problems)
+
+    def test_enforces_speedup_floor_only_on_capable_hosts(self, payload):
+        slow = copy.deepcopy(payload)
+        slow["quick"] = False
+        slow["machine"]["cpu_count"] = 8
+        slow["scaling"].update(max_shards=4, speedup_at_max_shards=1.1)
+        assert any("floor" in problem
+                   for problem in validate_service_payload(slow))
+        # The same numbers on a 1-core recorder are not a failure.
+        onecore = copy.deepcopy(slow)
+        onecore["machine"]["cpu_count"] = 1
+        assert validate_service_payload(onecore) == []
+
+    def test_missing_keys_reported(self):
+        assert any("missing" in problem
+                   for problem in validate_service_payload({"schema": 1}))
