@@ -1,0 +1,35 @@
+"""Concurrency discipline analysis (``repro check --concurrency``).
+
+The sharded service's thread-safety rests on invariants that used to
+live in docstrings: a fixed lock hierarchy, ascending shard-order
+admission, ``_GUARDED_BY`` state ownership, condition-wait predicate
+loops, a single environment-read site, and never blocking under a lock.
+This package enforces them twice:
+
+* statically — :mod:`repro.analysis.conc.rules` extends the ``repro
+  check`` catalogue with REPRO008–REPRO012, built on a per-function
+  lock-acquisition model (:mod:`repro.analysis.conc.model`) propagated
+  through a lightweight call graph
+  (:mod:`repro.analysis.conc.callgraph`);
+* dynamically — :class:`repro.analysis.conc.witness.LockOrderWitness`
+  instruments the service layer's lock seam during tests, records the
+  runtime acquisition graph, and cross-validates it against the static
+  model (a runtime edge the analyzer failed to predict fails the suite,
+  keeping the analyzer honest).
+"""
+
+from repro.analysis.conc.callgraph import ProjectAnalysis, analyze_paths, analyze_project
+from repro.analysis.conc.model import ProjectModel, build_project_model
+from repro.analysis.conc.rules import CONC_RULES, conc_rule_catalogue
+from repro.analysis.conc.witness import LockOrderWitness
+
+__all__ = [
+    "CONC_RULES",
+    "LockOrderWitness",
+    "ProjectAnalysis",
+    "ProjectModel",
+    "analyze_paths",
+    "analyze_project",
+    "build_project_model",
+    "conc_rule_catalogue",
+]

@@ -1,0 +1,272 @@
+"""Concurrency rules REPRO008–REPRO012 for ``repro check --concurrency``.
+
+These extend the static catalogue in :mod:`repro.analysis.lint.rules`
+with whole-project concurrency discipline over the sharded service.
+They share the lint engine (two-phase scan/check, ``# repro:
+noqa[ID]`` suppression) but build on the lock-acquisition model of
+:mod:`repro.analysis.conc.model` closed over the call graph by
+:mod:`repro.analysis.conc.callgraph`.
+
+==========  ==========================================================
+ID          discipline
+==========  ==========================================================
+REPRO008    lock-order: the label-level acquisition graph must be
+            acyclic, and same-label multi-acquire (the cross-shard
+            sweep) is legal only inside an ascending ``sorted`` loop
+REPRO009    guarded state: attributes named in a class's
+            ``_GUARDED_BY`` map may only be touched with their guard
+            statically held (``with``, ``ExitStack`` or ``@holds``)
+REPRO010    ``Condition.wait``/``wait_for`` must sit inside a
+            ``while`` predicate loop, never a bare ``if``
+REPRO011    no environment reads outside ``EngineOptions.from_env``
+            (``repro/exec/options.py``)
+REPRO012    no blocking operation — engine run, file I/O, ``join``,
+            ``Event``/``Barrier`` wait, sleeps, subprocesses — while
+            holding a lock, directly or through any callee
+==========  ==========================================================
+
+REPRO008/009/010/012 analyze ``repro/service/`` and ``repro/exec/``
+(the only packages that share locks); REPRO011 is repo-wide.
+"""
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.conc.callgraph import ProjectAnalysis, analyze_files
+from repro.analysis.conc.model import _attr_path
+from repro.analysis.lint.engine import LintViolation, SourceFile
+from repro.analysis.lint.rules import Rule
+
+#: Files whose lock usage the whole-project model covers.
+_SCOPE_RE = re.compile(r"repro/(?:service|exec)/[^/]+\.py$")
+
+#: The single sanctioned environment-read site (REPRO011).
+_ENV_HOME = "repro/exec/options.py"
+
+#: One analysis per distinct file set, shared across the five rules
+#: (each engine rule gets its own context dict, so the share point has
+#: to live at module level).  Single-slot: a new file set evicts the
+#: old one.
+_ANALYSIS_CACHE: Dict[Tuple[Tuple[str, int], ...], ProjectAnalysis] = {}
+
+
+def _scoped(file: SourceFile) -> bool:
+    return _SCOPE_RE.search(file.path) is not None
+
+
+class _ConcRule(Rule):
+    """Shared scan phase: collect scoped files, analyze them as one
+    project on first check."""
+
+    def scan(self, file: SourceFile, context: dict) -> None:
+        if _scoped(file):
+            context.setdefault("files", []).append(file)
+
+    def analysis(self, context: dict) -> ProjectAnalysis:
+        files: List[SourceFile] = context.get("files", [])
+        key = tuple((f.path, hash(f.source)) for f in files)
+        cached = _ANALYSIS_CACHE.get(key)
+        if cached is None:
+            cached = analyze_files([(f.path, f.tree) for f in files])
+            _ANALYSIS_CACHE.clear()
+            _ANALYSIS_CACHE[key] = cached
+        return cached
+
+    def at(self, path: str, line: int, message: str) -> LintViolation:
+        return LintViolation(path, line, self.rule_id, message)
+
+
+class LockOrderRule(_ConcRule):
+    """Lock acquisitions must follow one global order.
+
+    The service's hierarchy is: per-shard ``MicroBatcher._lock`` in
+    ascending shard order, then ``ServiceMetrics._lock``;
+    ``ShardPool._drain_lock`` and ``ReproService._active_lock`` are
+    leaves.  Statically that means the label-level acquisition graph
+    (closed over the call graph) is acyclic, and taking a lock with the
+    same label as one already held is legal only via
+    ``stack.enter_context`` inside a ``for`` over an ascending
+    ``sorted(...)`` — the cross-shard sweep shape.
+    """
+
+    rule_id = "REPRO008"
+    summary = ("lock-order discipline: acyclic acquisition graph; "
+               "same-label acquire only in ascending sorted loops")
+
+    def check(self, file: SourceFile, context: dict) -> Iterator[LintViolation]:
+        if not _scoped(file):
+            return
+        analysis = self.analysis(context)
+        for fn in analysis.model.functions.values():
+            if fn.path != file.path:
+                continue
+            for site, label in fn.order_violations:
+                yield self.at(site.path, site.line,
+                              f"re-acquires {label} while already held "
+                              "outside an ascending sorted(...) loop "
+                              "(cross-shard sweeps must take shard locks "
+                              "in ascending shard order)")
+        for edge in analysis.self_deadlocks():
+            if edge.site.path == file.path:
+                yield self.at(edge.site.path, edge.site.line,
+                              f"call path via {edge.via} re-acquires "
+                              f"{edge.src} while it is held "
+                              "(self-deadlock on a non-reentrant lock)")
+        for cycle in analysis.cycles():
+            first = analysis.edge_for(cycle[0], cycle[1])
+            if first is not None and first.site.path == file.path:
+                yield self.at(first.site.path, first.site.line,
+                              "lock-order cycle: " + " -> ".join(cycle))
+
+
+class GuardedStateRule(_ConcRule):
+    """``_GUARDED_BY`` attributes need their lock statically held.
+
+    A class declares ownership with ``_GUARDED_BY = {"attr":
+    "lock_attr"}``; every load or store of a guarded attribute must
+    happen where the analyzer can see the guard held — a ``with``
+    block, an ``ExitStack.enter_context``, or a method marked
+    ``@holds("lock_attr")`` whose callers are checked at the call site.
+    Freshly constructed locals and ``self`` inside ``__init__`` are
+    exempt (not yet shared).
+    """
+
+    rule_id = "REPRO009"
+    summary = ("guarded-state access: _GUARDED_BY attributes touched "
+               "only with their lock held")
+
+    def check(self, file: SourceFile, context: dict) -> Iterator[LintViolation]:
+        if not _scoped(file):
+            return
+        analysis = self.analysis(context)
+        for fn in analysis.model.functions.values():
+            if fn.path != file.path:
+                continue
+            for rec in fn.guard_accesses:
+                if rec.needed not in rec.held:
+                    verb = "write to" if rec.store else "read of"
+                    yield self.at(rec.site.path, rec.site.line,
+                                  f"{verb} {rec.owner}.{rec.attr} without "
+                                  f"holding {rec.needed} (declared in "
+                                  f"{rec.owner}._GUARDED_BY)")
+            for rec in fn.holds_calls:
+                missing = [need for need in rec.needed
+                           if need not in rec.held]
+                if missing:
+                    yield self.at(rec.site.path, rec.site.line,
+                                  f"call to {rec.callee} requires "
+                                  f"{', '.join(missing)} held "
+                                  "(declared via @holds)")
+
+
+class ConditionWaitRule(_ConcRule):
+    """``Condition.wait`` must re-check its predicate in a loop.
+
+    A woken waiter holds no guarantee: wakeups are allowed to be
+    spurious and the predicate may be re-falsified between ``notify``
+    and wakeup, so a bare ``if pred: cond.wait()`` is a race.  Only the
+    ``while not pred: cond.wait()`` shape is sound (``wait_for``
+    already loops internally, but must still sit in a ``while`` when
+    used with a timeout fragment).
+    """
+
+    rule_id = "REPRO010"
+    summary = "Condition.wait must sit inside a while predicate loop"
+
+    def check(self, file: SourceFile, context: dict) -> Iterator[LintViolation]:
+        if not _scoped(file):
+            return
+        analysis = self.analysis(context)
+        for fn in analysis.model.functions.values():
+            if fn.path != file.path:
+                continue
+            for rec in fn.waits:
+                if not rec.in_while:
+                    yield self.at(rec.site.path, rec.site.line,
+                                  f"wait on {rec.receiver} outside a "
+                                  "while loop: wakeups may be spurious, "
+                                  "re-check the predicate in a while")
+
+
+class EnvReadRule(Rule):
+    """All environment reads live in ``EngineOptions.from_env``.
+
+    Scattered ``os.environ`` lookups make run configuration invisible
+    to the repro profile and the content-addressed cache key.  Any knob
+    must flow through ``EngineOptions.from_env`` so it is recorded,
+    hashed, and printed by ``repro repro-profile``.
+    """
+
+    rule_id = "REPRO011"
+    summary = ("no os.environ/os.getenv outside EngineOptions.from_env "
+               "(repro/exec/options.py)")
+
+    def check(self, file: SourceFile, context: dict) -> Iterator[LintViolation]:
+        if file.path.endswith(_ENV_HOME):
+            return
+        for node in ast.walk(file.tree):
+            what: Optional[str] = None
+            if isinstance(node, ast.Call):
+                path = _attr_path(node.func)
+                if path in ("os.getenv", "os.environ.get"):
+                    what = f"{path}(...)"
+            elif (isinstance(node, ast.Subscript)
+                  and _attr_path(node.value) == "os.environ"):
+                what = "os.environ[...]"
+            if what is not None:
+                yield self.violation(
+                    file, node,
+                    f"{what} outside EngineOptions.from_env — route "
+                    "configuration through repro/exec/options.py so it "
+                    "lands in the repro profile")
+
+
+class BlockingUnderLockRule(_ConcRule):
+    """Never block while holding a lock.
+
+    Holding any service lock across a blocking operation — an engine
+    run, file I/O, ``Thread.join``, ``Event.wait``/``Barrier.wait``,
+    ``time.sleep``, a subprocess — stalls every thread queued on that
+    lock and turns a slow request into a service-wide convoy.  The rule
+    follows calls: a locked call into a helper that blocks three frames
+    down is still a finding, attributed to the locked call site.
+    ``Condition.wait`` is exempt for the lock it releases, but blocks
+    any *other* lock held around it.
+    """
+
+    rule_id = "REPRO012"
+    summary = ("no blocking call (engine run, I/O, join, waits, sleep, "
+               "subprocess) while holding a lock, transitively")
+
+    def check(self, file: SourceFile, context: dict) -> Iterator[LintViolation]:
+        if not _scoped(file):
+            return
+        analysis = self.analysis(context)
+        for rec in analysis.blocking_violations:
+            if rec.site.path == file.path:
+                held = ", ".join(rec.held)
+                yield self.at(rec.site.path, rec.site.line,
+                              f"{rec.what} while holding {held} "
+                              f"(in {rec.via})")
+
+
+CONC_RULES = (
+    LockOrderRule(),
+    GuardedStateRule(),
+    ConditionWaitRule(),
+    EnvReadRule(),
+    BlockingUnderLockRule(),
+)
+
+
+def conc_rule_catalogue() -> str:
+    """Human-readable listing for ``repro check --list-rules``."""
+    lines = []
+    for rule in CONC_RULES:
+        lines.append(f"{rule.rule_id}  {rule.summary}")
+        doc = (rule.__doc__ or "").strip().splitlines()
+        for line in doc[1:]:
+            lines.append(f"    {line.strip()}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,219 @@
+"""Runtime lock-order witness for the service layer's lock seam.
+
+Static analysis is only as honest as its model.  The witness closes
+the loop: installed over :func:`repro.utils.sync.make_lock` (every
+service-layer lock is created through that seam), it hands out wrapped
+locks that record the *runtime* acquisition graph — an edge ``A -> B``
+whenever a thread takes ``B`` while holding ``A`` — keyed by the same
+``"Class.attr"`` labels the static model uses, plus the shard index
+for per-shard locks.
+
+Tests then assert three things:
+
+* the observed graph is acyclic (no witnessed deadlock potential);
+* every same-label edge runs in ascending shard-index order (the
+  cross-shard sweep discipline);
+* every observed label edge was *predicted* by the static model
+  (:meth:`~repro.analysis.conc.callgraph.ProjectAnalysis.predicted_edges`)
+  — a runtime edge the analyzer missed is a hole in the model and
+  fails the suite.
+
+The witness is test-only instrumentation: production code never
+installs a factory, and ``make_lock`` falls back to a plain
+``threading.Lock``.  ``threading.Condition`` wraps a witness lock
+transparently — ``Condition.wait`` releases through the wrapper (the
+held stack pops before the thread sleeps), so the re-acquire on wakeup
+starts from an empty held set and records no spurious edges, and the
+``_is_owned`` probe (``acquire(False)`` on a held lock) fails without
+recording anything.
+"""
+
+import threading
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.utils.sync import install_lock_factory, uninstall_lock_factory
+
+#: One lock identity at runtime: static label + optional shard index.
+LockKey = Tuple[str, Optional[int]]
+
+
+class WitnessEdge(NamedTuple):
+    """Observed nesting: ``dst`` was acquired while ``src`` was held."""
+
+    src: LockKey
+    dst: LockKey
+
+
+def _fmt(key: LockKey) -> str:
+    label, index = key
+    return label if index is None else f"{label}[{index}]"
+
+
+class _WitnessLock:
+    """A ``threading.Lock`` that reports acquisitions to its witness."""
+
+    def __init__(self, witness: "LockOrderWitness", label: str,
+                 index: Optional[int]) -> None:
+        self._witness = witness
+        self._inner = threading.Lock()
+        self.label = label
+        self.index = index
+
+    @property
+    def key(self) -> LockKey:
+        return (self.label, self.index)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._witness._note_acquire(self.key)
+        return ok
+
+    def release(self) -> None:
+        # Pop the held stack first: it is thread-local to the owner, so
+        # this cannot race the next acquirer.
+        self._witness._note_release(self.key)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "_WitnessLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<WitnessLock {_fmt(self.key)}>"
+
+
+class LockOrderWitness:
+    """Records the runtime lock-acquisition graph during a test.
+
+    Use as a context manager; entering installs it as the
+    :func:`~repro.utils.sync.make_lock` factory (so it must wrap the
+    *construction* of the objects under test)::
+
+        with LockOrderWitness() as witness:
+            pool = ShardPool.build(...)   # locks now instrumented
+            ...exercise the pool...
+        assert witness.cycle() is None
+        assert not witness.ordering_violations()
+        assert not witness.unpredicted_edges(analysis.predicted_edges())
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._tls = threading.local()
+        self._edges: Set[WitnessEdge] = set()
+        self._acquired: Dict[LockKey, int] = {}
+
+    # -- LockFactory protocol ---------------------------------------------
+    def lock(self, label: str, index: Optional[int] = None) -> _WitnessLock:
+        return _WitnessLock(self, label, index)
+
+    def __enter__(self) -> "LockOrderWitness":
+        install_lock_factory(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        uninstall_lock_factory(self)
+
+    # -- recording --------------------------------------------------------
+    def _stack(self) -> List[LockKey]:
+        stack: Optional[List[LockKey]] = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _note_acquire(self, key: LockKey) -> None:
+        stack = self._stack()
+        with self._mu:
+            self._acquired[key] = self._acquired.get(key, 0) + 1
+            for held in stack:
+                self._edges.add(WitnessEdge(held, key))
+        stack.append(key)
+
+    def _note_release(self, key: LockKey) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == key:
+                del stack[i]
+                return
+
+    # -- queries ----------------------------------------------------------
+    def edges(self) -> Set[WitnessEdge]:
+        with self._mu:
+            return set(self._edges)
+
+    def label_edges(self) -> Set[Tuple[str, str]]:
+        """Observed edges collapsed to static-model granularity."""
+        return {(e.src[0], e.dst[0]) for e in self.edges()}
+
+    def acquisitions(self) -> Dict[LockKey, int]:
+        """How many times each lock was taken (coverage sanity)."""
+        with self._mu:
+            return dict(self._acquired)
+
+    def ordering_violations(self) -> List[WitnessEdge]:
+        """Same-label nestings that were not in ascending index order."""
+        out: List[WitnessEdge] = []
+        for edge in sorted(self.edges()):
+            if edge.src[0] != edge.dst[0]:
+                continue
+            src_i, dst_i = edge.src[1], edge.dst[1]
+            if (not isinstance(src_i, int) or not isinstance(dst_i, int)
+                    or src_i >= dst_i):
+                out.append(edge)
+        return out
+
+    def cycle(self) -> Optional[List[str]]:
+        """One label-level cycle if the observed graph has any.
+
+        Same-label edges are excluded here (they are judged by index
+        order in :meth:`ordering_violations`; at label granularity they
+        would read as trivial self-loops).
+        """
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in self.label_edges():
+            if src != dst:
+                graph.setdefault(src, set()).add(dst)
+        state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+        def visit(node: str, path: List[str]) -> Optional[List[str]]:
+            state[node] = 1
+            path.append(node)
+            for succ in sorted(graph.get(node, ())):
+                if state.get(succ) == 1:
+                    return path[path.index(succ):] + [succ]
+                if state.get(succ) is None:
+                    found = visit(succ, path)
+                    if found:
+                        return found
+            path.pop()
+            state[node] = 2
+            return None
+
+        for start in sorted(graph):
+            if state.get(start) is None:
+                found = visit(start, [])
+                if found:
+                    return found
+        return None
+
+    def unpredicted_edges(
+            self, predicted: Set[Tuple[str, str]]) -> Set[Tuple[str, str]]:
+        """Observed label edges the static model failed to predict."""
+        return {edge for edge in self.label_edges()
+                if edge not in predicted}
+
+    def report(self) -> str:
+        lines = ["lock-order witness:"]
+        for edge in sorted(self.edges()):
+            lines.append(f"  {_fmt(edge.src)} -> {_fmt(edge.dst)}")
+        if len(lines) == 1:
+            lines.append("  (no nested acquisitions observed)")
+        return "\n".join(lines)

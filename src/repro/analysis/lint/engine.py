@@ -8,19 +8,25 @@ frozen result classes) when judging a single file:
 2. each rule's ``check`` hook yields :class:`LintViolation` findings per
    file, which the engine filters through ``# repro: noqa`` suppressions.
 
-Suppression syntax, on the offending line::
+Suppression syntax, on the offending statement::
 
     something_flagged()  # repro: noqa[REPRO001]
     something_flagged()  # repro: noqa[REPRO001,REPRO005]
     something_flagged()  # repro: noqa
 
-The bare form suppresses every rule on that line; prefer the targeted
-form so unrelated regressions on the same line still surface.
+The bare form suppresses every rule; prefer the targeted form so
+unrelated regressions on the same statement still surface.  A
+suppression anywhere on a multi-line statement covers the whole
+statement — a violation reported on a continuation line is silenced by
+a ``noqa`` on the opening line (and vice versa).  Only real comments
+count: the marker inside a string literal is inert.
 """
 
 import ast
+import io
 import os
 import re
+import tokenize
 from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
 
 #: ``# repro: noqa`` / ``# repro: noqa[REPRO001,REPRO002]``
@@ -47,21 +53,49 @@ class SourceFile:
         self.source = source
         self.tree = ast.parse(source, filename=path)
         #: line -> suppressed rule ids (``None`` means "all rules").
+        #: Populated from COMMENT tokens only, so the marker inside a
+        #: string literal never suppresses anything.
         self.noqa: Dict[int, Optional[FrozenSet[str]]] = {}
-        for lineno, line in enumerate(source.splitlines(), start=1):
-            match = _NOQA_RE.search(line)
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
             if match:
                 ids = match.group(1)
-                self.noqa[lineno] = (
+                self.noqa[token.start[0]] = (
                     frozenset(p.strip() for p in ids.split(",") if p.strip())
                     if ids else None
                 )
+        #: line -> (first, last) line of the smallest simple statement
+        #: covering it — a suppression anywhere in that span silences
+        #: violations reported anywhere else in it.  Compound statements
+        #: contribute their header only (their bodies' own statements
+        #: cover the rest), so a ``noqa`` on a ``with``/``if`` line does
+        #: not blanket the whole block.
+        self._stmt_span: Dict[int, Tuple[int, int]] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt) or node.end_lineno is None:
+                continue
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body:
+                last = max(node.lineno, body[0].lineno - 1)
+            else:
+                last = node.end_lineno
+            for lineno in range(node.lineno, last + 1):
+                span = self._stmt_span.get(lineno)
+                # Smallest enclosing statement wins (walk order is not
+                # guaranteed innermost-last, so compare span widths).
+                if span is None or last - node.lineno < span[1] - span[0]:
+                    self._stmt_span[lineno] = (node.lineno, last)
 
     def suppressed(self, line: int, rule_id: str) -> bool:
-        if line not in self.noqa:
-            return False
-        ids = self.noqa[line]
-        return ids is None or rule_id in ids
+        first, last = self._stmt_span.get(line, (line, line))
+        for lineno in range(first, last + 1):
+            if lineno in self.noqa:
+                ids = self.noqa[lineno]
+                if ids is None or rule_id in ids:
+                    return True
+        return False
 
 
 def _iter_python_files(paths: Iterable[str]) -> List[str]:

@@ -387,16 +387,40 @@ _FILTERING_SCHEMES = frozenset(
     {"yla", "bloom", "dmdc", "dmdc-local", "dmdc-queue8"})
 
 
+def _lint_payload(violations, rules) -> dict:
+    """JSON shape for one lint pass: findings plus per-rule accounting.
+
+    ``by_rule`` counts every active rule (zeroes included) so a consumer
+    can tell "rule ran and found nothing" from "rule did not run".
+    """
+    by_rule = {rule.rule_id: 0 for rule in rules}
+    for violation in violations:
+        by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+    return {
+        "violations": [v._asdict() for v in violations],
+        "count": len(violations),
+        "by_rule": by_rule,
+        "active_rules": sorted(rule.rule_id for rule in rules),
+    }
+
+
 def cmd_check(args) -> int:
+    from repro.analysis.conc import CONC_RULES, conc_rule_catalogue
     from repro.analysis.lint import format_violations, lint_paths, rule_catalogue
+    from repro.analysis.lint.rules import RULES
     from repro.analysis.sanitizer import SCHEME_MATRIX, run_sanitized
 
     if args.list_rules:
         print(rule_catalogue())
+        print()
+        print(conc_rule_catalogue())
         return 0
 
-    do_static = args.static or not args.sanitize
-    do_sanitize = args.sanitize or not args.static
+    only = [name for name in ("static", "concurrency", "sanitize")
+            if getattr(args, name)]
+    do_static = not only or "static" in only
+    do_concurrency = not only or "concurrency" in only
+    do_sanitize = not only or "sanitize" in only
     payload = {}
     failed = False
 
@@ -404,7 +428,15 @@ def cmd_check(args) -> int:
         violations = lint_paths(args.paths or ["src"])
         if not args.json:
             print(format_violations(violations))
-        payload["static"] = [v._asdict() for v in violations]
+        payload["static"] = _lint_payload(violations, RULES)
+        failed = failed or bool(violations)
+
+    if do_concurrency:
+        violations = lint_paths(args.paths or ["src"], rules=CONC_RULES)
+        if not args.json:
+            print(format_violations(violations).replace(
+                "--static", "--concurrency", 1))
+        payload["concurrency"] = _lint_payload(violations, CONC_RULES)
         failed = failed or bool(violations)
 
     if do_sanitize:
@@ -586,9 +618,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --json, include the retained event ring")
 
     p = sub.add_parser(
-        "check", help="lint pass + shadow-oracle sanitizer")
+        "check", help="lint pass + concurrency analysis + sanitizer")
     p.add_argument("--static", action="store_true",
                    help="run only the AST lint pass")
+    p.add_argument("--concurrency", action="store_true",
+                   help="run only the concurrency discipline analysis "
+                        "(REPRO008-REPRO012)")
     p.add_argument("--sanitize", action="store_true",
                    help="run only the shadow-oracle sanitizer sweep")
     p.add_argument("--list-rules", action="store_true",

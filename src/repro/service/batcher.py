@@ -33,6 +33,7 @@ from repro.exec.engine import ExecutionEngine
 from repro.exec.request import RunRequest
 from repro.service.metrics import ServiceMetrics
 from repro.sim.result import SimulationResult
+from repro.utils.sync import holds, make_lock
 
 
 class Saturated(ServiceError):
@@ -90,12 +91,25 @@ class Ticket:
 class MicroBatcher:
     """Admission queue + single batching thread in front of one engine."""
 
+    #: Ownership map for ``repro check --concurrency`` (REPRO009): every
+    #: listed attribute may only be touched while ``_lock`` (reached via
+    #: the ``_work``/``_idle`` conditions or the ``admission`` alias) is
+    #: held.
+    _GUARDED_BY = {
+        "_pending": "_lock",
+        "_executing": "_lock",
+        "_jobs": "_lock",
+        "_draining": "_lock",
+        "_closed": "_lock",
+    }
+
     def __init__(self, engine: ExecutionEngine, *,
                  max_queue: int = 256,
                  max_batch: int = 64,
                  batch_window: float = 0.005,
                  metrics: Optional[ServiceMetrics] = None,
-                 name: str = "repro-batcher") -> None:
+                 name: str = "repro-batcher",
+                 shard_index: Optional[int] = None) -> None:
         if max_queue < 1 or max_batch < 1:
             raise ValueError("max_queue and max_batch must be positive")
         self.engine = engine
@@ -103,7 +117,10 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.batch_window = batch_window
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._lock = threading.Lock()
+        # ``shard_index`` orders same-label locks: the pool admits
+        # cross-shard sweeps by taking batcher locks in ascending shard
+        # order, and the lock-order witness checks exactly that.
+        self._lock = make_lock("MicroBatcher._lock", index=shard_index)
         self._work = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._pending: "OrderedDict[str, Ticket]" = OrderedDict()
@@ -160,10 +177,12 @@ class MicroBatcher:
         sequence of the ``*_locked``-style helpers below."""
         return self._work
 
+    @holds("_lock")
     def free_slots(self) -> int:
         """Admission slots currently free (caller holds ``admission``)."""
         return self.max_queue - len(self._pending) - len(self._executing)
 
+    @holds("_lock")
     def fresh_slots_needed(self, keys: Sequence[str]) -> int:
         """Distinct keys in ``keys`` not already in flight here (caller
         holds ``admission``)."""
@@ -173,11 +192,24 @@ class MicroBatcher:
                 fresh.add(key)
         return len(fresh)
 
+    @holds("_lock")
+    def draining_locked(self) -> bool:
+        """Whether admissions are off (caller holds ``admission``).
+
+        The pool's cross-shard sweep path must use this rather than the
+        ``draining`` property: it already holds every involved admission
+        lock, and the property re-acquiring a non-reentrant lock would
+        self-deadlock.
+        """
+        return self._draining
+
+    @holds("_lock")
     def reject_all(self, count: int, draining: bool) -> None:
         """Account ``count`` rejected points (caller holds ``admission``)."""
         for _ in range(count):
             self.metrics.rejected(draining=draining)
 
+    @holds("_lock")
     def admit(self, keyed: Sequence[Tuple[str, RunRequest]]) -> List[Ticket]:
         """Insert/coalesce pre-checked points (caller holds ``admission``)."""
         tickets = []
@@ -210,7 +242,8 @@ class MicroBatcher:
     # -- shutdown ---------------------------------------------------------
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._work:
+            return self._draining
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admissions and wait for every admitted point to resolve.

@@ -7,10 +7,11 @@ for ``GET /metrics`` directly.
 """
 
 import math
-import threading
 import time
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.utils.sync import make_lock
 
 #: How many recent request latencies feed the percentile estimates.
 LATENCY_RESERVOIR = 2048
@@ -46,8 +47,33 @@ def percentile(samples: List[float], pct: float) -> Optional[float]:
 class ServiceMetrics:
     """Cumulative accounting for one service process."""
 
+    #: Ownership map for ``repro check --concurrency`` (REPRO009): every
+    #: counter and reservoir is shared between handler threads and the
+    #: batching thread, so all of them live under the one ``_lock``.
+    _GUARDED_BY = {
+        "received": "_lock",
+        "unique_submitted": "_lock",
+        "coalesced_inflight": "_lock",
+        "rejected_saturation": "_lock",
+        "rejected_draining": "_lock",
+        "completed": "_lock",
+        "errors": "_lock",
+        "timeouts": "_lock",
+        "batches": "_lock",
+        "max_batch": "_lock",
+        "_batch_sizes": "_lock",
+        "_latencies": "_lock",
+        "_finish_times": "_lock",
+        "sim_runs": "_lock",
+        "sim_instructions": "_lock",
+        "sim_cycles": "_lock",
+        "sim_replays": "_lock",
+        "traced_runs": "_lock",
+        "traced_events": "_lock",
+    }
+
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServiceMetrics._lock")
         # Admission
         self.received = 0              # design points admitted (incl. coalesced)
         self.unique_submitted = 0      # new unique keys entered into the queue
@@ -167,12 +193,14 @@ class ServiceMetrics:
                 "traced_runs": self.traced_runs,
                 "traced_events": self.traced_events,
             }
-        batching: Dict[str, object] = {
-            "batches": self.batches,
-            "max_batch": self.max_batch,
-            "mean_batch": (sum(sizes) / len(sizes)) if sizes else 0.0,
-            "recent_batches": sizes[-16:],
-        }
+            # ``batches``/``max_batch`` are guarded too — reading them
+            # outside the lock raced the batching thread's observe_batch.
+            batching: Dict[str, object] = {
+                "batches": self.batches,
+                "max_batch": self.max_batch,
+                "mean_batch": (sum(sizes) / len(sizes)) if sizes else 0.0,
+                "recent_batches": sizes[-16:],
+            }
         latency: Dict[str, object] = {
             f"p{int(pct)}_seconds": percentile(latencies, pct)
             for pct in PERCENTILES

@@ -49,6 +49,7 @@ from repro.service.schema import (
     parse_trace_flag,
 )
 from repro.service.shards import ShardPool
+from repro.utils.sync import make_lock
 
 #: Hard cap on request body size (a sweep of ~4k explicit spec points).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -96,6 +97,12 @@ class ReproService(ThreadingHTTPServer):
     # very bursts this service exists to absorb.
     request_queue_size = 128
 
+    #: Ownership map for ``repro check --concurrency`` (REPRO009): the
+    #: active-request ledger is bumped by every handler thread and read
+    #: by the drain path, always under ``_active_lock`` (also reached
+    #: via the ``_active_idle`` condition built over it).
+    _GUARDED_BY = {"_active": "_active_lock"}
+
     def __init__(self, config: ServiceConfig,
                  engine: Optional[ExecutionEngine] = None) -> None:
         self.config = config
@@ -112,7 +119,7 @@ class ReproService(ThreadingHTTPServer):
         self.batcher = self.shards
         self.metrics = self.shards.metrics
         self._active = 0
-        self._active_lock = threading.Lock()
+        self._active_lock = make_lock("ReproService._active_lock")
         self._active_idle = threading.Condition(self._active_lock)
         super().__init__((config.host, config.port), RequestHandler)
 

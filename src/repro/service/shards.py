@@ -38,6 +38,7 @@ from repro.exec.options import EngineOptions
 from repro.exec.request import RunRequest
 from repro.service.batcher import Draining, MicroBatcher, Saturated, Ticket
 from repro.service.metrics import ServiceMetrics
+from repro.utils.sync import make_lock
 
 __all__ = ["Shard", "ShardPool", "shard_for_key"]
 
@@ -98,6 +99,9 @@ class _PoolMetricsView:
 class ShardPool:
     """Routes design points to N shard batchers by content-address hash."""
 
+    #: Ownership map for ``repro check --concurrency`` (REPRO009).
+    _GUARDED_BY = {"_draining": "_drain_lock"}
+
     def __init__(self, shards: Sequence[Shard]) -> None:
         if not shards:
             raise ValueError("a shard pool needs at least one shard")
@@ -106,7 +110,7 @@ class ShardPool:
         self.frontend_metrics = ServiceMetrics()
         self.metrics = _PoolMetricsView(self)
         self._draining = False
-        self._drain_lock = threading.Lock()
+        self._drain_lock = make_lock("ShardPool._drain_lock")
 
     @classmethod
     def build(cls, count: int, options: EngineOptions, *,
@@ -146,6 +150,7 @@ class ShardPool:
                 batch_window=batch_window,
                 metrics=metrics,
                 name=f"repro-batcher-{index}",
+                shard_index=index,
             )
             shards.append(Shard(index, shard_engine, batcher, metrics))
         return cls(shards)
@@ -182,7 +187,11 @@ class ShardPool:
         with ExitStack() as stack:
             for index in ordered:
                 stack.enter_context(self.shards[index].batcher.admission)
-            if any(self.shards[index].batcher.draining for index in ordered):
+            # ``draining_locked``, not the ``draining`` property: we hold
+            # every involved admission lock already, and the property
+            # re-acquiring a non-reentrant lock would self-deadlock.
+            if any(self.shards[index].batcher.draining_locked()
+                   for index in ordered):
                 for index in ordered:
                     self.shards[index].batcher.reject_all(
                         len(groups[index]), draining=True)
@@ -272,8 +281,14 @@ class ShardPool:
     # -- lifecycle --------------------------------------------------------
     @property
     def draining(self) -> bool:
-        return self._draining or any(
-            shard.batcher.draining for shard in self.shards)
+        # Read the pool flag under its own lock, then *release* before
+        # asking the batchers — holding ``_drain_lock`` across their
+        # locked ``draining`` properties would add a needless
+        # drain-lock -> batcher-lock edge to the lock-order graph.
+        with self._drain_lock:
+            if self._draining:
+                return True
+        return any(shard.batcher.draining for shard in self.shards)
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admissions everywhere; wait for every shard to empty.

@@ -161,7 +161,10 @@ class Processor:
         #: Fast path gate: off via env, and off whenever the invalidation
         #: injector is live (it draws from the RNG every cycle, so skipped
         #: cycles would change the random stream).
-        self._fastpath = (
+        # repro: noqa[REPRO011] — a debug kill-switch, deliberately outside
+        # EngineOptions: it must work even when options plumbing is what
+        # is being debugged, and bench.py reports it alongside the knobs.
+        self._fastpath = (  # repro: noqa[REPRO011]
             not os.environ.get(NO_FASTPATH_ENV)
             and not self.invalidations.enabled
         )

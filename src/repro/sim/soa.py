@@ -72,7 +72,7 @@ _STALL_REGS = 5
 
 def soa_enabled() -> bool:
     """The environment gate for the SoA kernel (re-read per processor)."""
-    return not os.environ.get(NO_SOA_ENV)
+    return not os.environ.get(NO_SOA_ENV)  # repro: noqa[REPRO011]
 
 
 class TraceSoA:

@@ -1,0 +1,96 @@
+"""Synchronization seam: labelled locks and lock-discipline markers.
+
+The service layer is the only concurrent part of the repository, and its
+deadlock-freedom rests on invariants (a fixed lock hierarchy, ascending
+shard-order admission, lock-held helper conventions) that
+``repro check --concurrency`` verifies statically and the
+:class:`repro.analysis.conc.witness.LockOrderWitness` verifies at
+runtime.  Both need a seam:
+
+* :func:`make_lock` is how the service layer constructs every lock.  By
+  default it returns a plain :class:`threading.Lock`; while a witness
+  factory is installed (:func:`install_lock_factory`), it returns an
+  instrumented lock that records the runtime acquisition graph.  The
+  ``label`` is the lock's *static identity* — ``"Class.attr"``, matching
+  the name the static analyzer derives — and ``index`` distinguishes
+  instances of the same label that carry an ordering contract (shard
+  locks must be taken in ascending ``index`` order).
+
+  Conditions need no seam of their own: ``threading.Condition(lock)``
+  built over a seam lock shares its instrumentation.
+
+* :func:`holds` marks a method whose **caller must already hold** the
+  named lock attributes.  It is a runtime no-op; the static analyzer
+  reads the decorator to seed the method's held-lock set (REPRO009) and
+  to know the method does not re-acquire (REPRO008).
+
+Nothing here imports the analysis package — the dependency points the
+other way (analysis instruments this seam), so the service layer stays
+free of tooling imports.
+"""
+
+import threading
+from typing import Any, Callable, Optional, Protocol, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+class LockFactory(Protocol):
+    """What a witness installs: a factory for labelled lock objects."""
+
+    def lock(self, label: str, index: Optional[int] = None) -> Any:
+        """Return a lock-like object (``acquire``/``release``/ctx mgr)."""
+
+
+#: The installed witness factory, or ``None`` for plain stdlib locks.
+_factory: Optional[LockFactory] = None
+
+
+def make_lock(label: str, index: Optional[int] = None) -> Any:
+    """A lock whose static identity is ``label`` (e.g. ``"MicroBatcher._lock"``).
+
+    ``index`` orders same-label instances (shard locks): the runtime
+    witness asserts that two same-label locks are only ever nested in
+    ascending index order, mirroring the static REPRO008 rule.
+    """
+    if _factory is None:
+        return threading.Lock()
+    return _factory.lock(label, index)
+
+
+def install_lock_factory(factory: LockFactory) -> None:
+    """Route subsequent :func:`make_lock` calls through ``factory``.
+
+    Only locks *constructed while installed* are instrumented; existing
+    objects keep their plain locks.  Installation is test-scoped — the
+    witness uninstalls in a ``finally``.
+    """
+    global _factory
+    if _factory is not None:
+        raise RuntimeError("a lock factory is already installed")
+    _factory = factory
+
+
+def uninstall_lock_factory(factory: LockFactory) -> None:
+    """Remove ``factory``; no-op safe only for the installed factory."""
+    global _factory
+    if _factory is not factory:
+        raise RuntimeError("that lock factory is not the installed one")
+    _factory = None
+
+
+def holds(*lock_attrs: str) -> Callable[[_F], _F]:
+    """Declare that callers of the decorated method hold ``lock_attrs``.
+
+    A lock-held helper (``MicroBatcher.admit`` and friends) touches
+    guarded state without taking the lock itself; this marker is the
+    machine-readable form of the "caller holds ``admission``" docstring
+    convention.  The static analyzer seeds the method's held-lock set
+    from it, and flags guarded accesses in *unmarked* lock-free methods.
+    """
+
+    def mark(fn: _F) -> _F:
+        fn.__repro_holds__ = lock_attrs  # type: ignore[attr-defined]
+        return fn
+
+    return mark

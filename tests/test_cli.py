@@ -100,10 +100,51 @@ class TestCheckCommand:
         assert main(["check", "--static", str(bad)]) == 1
         assert "REPRO002" in capsys.readouterr().out
 
+    def test_static_json_counts(self, capsys):
+        assert main(["check", "--static", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        static = payload["static"]
+        assert static["count"] == 0 and static["violations"] == []
+        assert static["active_rules"] == [f"REPRO00{i}" for i in range(1, 8)]
+        # Every active rule is accounted for, zeroes included, so "ran
+        # clean" is distinguishable from "did not run".
+        assert set(static["by_rule"]) == set(static["active_rules"])
+        assert all(count == 0 for count in static["by_rule"].values())
+
+    def test_static_json_counts_violations_by_rule(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nimport time\nx = time.time()\n")
+        assert main(["check", "--static", "--json", str(bad)]) == 1
+        static = json.loads(capsys.readouterr().out)["static"]
+        assert static["count"] == len(static["violations"]) > 0
+        assert static["by_rule"]["REPRO001"] == 1  # wall clock
+        assert static["by_rule"]["REPRO002"] == 1  # ambient random
+
+    def test_concurrency_clean_on_repo(self, capsys):
+        assert main(["check", "--concurrency"]) == 0
+        out = capsys.readouterr().out
+        assert "--concurrency: clean" in out and "OK" in out
+
+    def test_concurrency_json(self, capsys):
+        assert main(["check", "--concurrency", "--json"]) == 0
+        conc = json.loads(capsys.readouterr().out)["concurrency"]
+        assert conc["count"] == 0
+        assert conc["active_rules"] == [
+            f"REPRO0{i:02d}" for i in range(8, 13)]
+
+    def test_concurrency_flags_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "service" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import os\nTOKEN = os.environ['TOKEN']\n")
+        assert main(["check", "--concurrency", str(bad)]) == 1
+        assert "REPRO011" in capsys.readouterr().out
+
     def test_list_rules(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "REPRO001" in out and "REPRO007" in out
+        assert "REPRO008" in out and "REPRO012" in out
 
     def test_sanitize_smoke(self, capsys):
         assert main(["check", "--sanitize", "--scheme", "dmdc",

@@ -1,0 +1,349 @@
+"""Per-rule tests for the concurrency catalogue (REPRO008-REPRO012).
+
+Each test aims a small violating (or deliberately clean) snippet at a
+service-layer path via :func:`lint_source`, proving every rule both
+fires on its target shape and stays quiet on the sanctioned one — the
+ascending sorted sweep, ``@holds`` helpers, fresh objects, and
+``Condition.wait`` releasing its own lock.
+"""
+
+import textwrap
+
+from repro.analysis.conc import CONC_RULES, conc_rule_catalogue
+from repro.analysis.lint.engine import lint_source
+
+SERVICE_PATH = "src/repro/service/snippet.py"
+
+
+def check(source: str, path: str = SERVICE_PATH):
+    return lint_source(textwrap.dedent(source), path=path, rules=CONC_RULES)
+
+
+def rule_ids(source: str, path: str = SERVICE_PATH):
+    return [v.rule_id for v in check(source, path)]
+
+
+class TestLockOrderRule:
+    def test_descending_sweep_is_an_inversion(self):
+        violations = check("""
+            from contextlib import ExitStack
+            from typing import List
+
+            from repro.utils.sync import make_lock
+
+
+            class Shard:
+                def __init__(self) -> None:
+                    self._lock = make_lock("Shard._lock")
+
+
+            class Pool:
+                def __init__(self, shards: List[Shard]) -> None:
+                    self.shards = list(shards)
+
+                def sweep(self) -> None:
+                    with ExitStack() as stack:
+                        for shard in sorted(self.shards, reverse=True,
+                                            key=id):
+                            stack.enter_context(shard._lock)
+            """)
+        assert [v.rule_id for v in violations] == ["REPRO008"]
+        assert "ascending" in violations[0].message
+
+    def test_ascending_sorted_sweep_is_sanctioned(self):
+        assert rule_ids("""
+            from contextlib import ExitStack
+            from typing import List
+
+            from repro.utils.sync import make_lock
+
+
+            class Shard:
+                def __init__(self) -> None:
+                    self._lock = make_lock("Shard._lock")
+
+
+            class Pool:
+                def __init__(self, shards: List[Shard]) -> None:
+                    self.shards = list(shards)
+
+                def sweep(self) -> None:
+                    with ExitStack() as stack:
+                        for shard in sorted(self.shards, key=id):
+                            stack.enter_context(shard._lock)
+            """) == []
+
+    def test_two_class_cycle_is_flagged(self):
+        violations = check("""
+            from repro.utils.sync import make_lock
+
+
+            class Counters:
+                queue: "Queue"
+
+                def __init__(self) -> None:
+                    self._lock = make_lock("Counters._lock")
+
+                def bump(self) -> None:
+                    with self._lock:
+                        pass
+
+                def flush(self) -> None:
+                    with self._lock:
+                        self.queue.drain()
+
+
+            class Queue:
+                def __init__(self, counters: Counters) -> None:
+                    self._lock = make_lock("Queue._lock")
+                    self.counters = counters
+
+                def push(self) -> None:
+                    with self._lock:
+                        self.counters.bump()
+
+                def drain(self) -> None:
+                    with self._lock:
+                        pass
+            """)
+        assert [v.rule_id for v in violations] == ["REPRO008"]
+        assert "cycle" in violations[0].message
+        assert "Counters._lock" in violations[0].message
+        assert "Queue._lock" in violations[0].message
+
+    def test_property_reacquire_under_own_lock_is_a_self_deadlock(self):
+        violations = check("""
+            from repro.utils.sync import make_lock
+
+
+            class Batcher:
+                def __init__(self) -> None:
+                    self._lock = make_lock("Batcher._lock")
+                    self._pending = 0
+
+                @property
+                def depth(self) -> int:
+                    with self._lock:
+                        return self._pending
+
+                def submit(self) -> None:
+                    with self._lock:
+                        if self.depth > 0:
+                            self._pending -= 1
+            """)
+        assert "REPRO008" in [v.rule_id for v in violations]
+        assert any("self-deadlock" in v.message for v in violations)
+
+
+class TestGuardedStateRule:
+    GUARDED = """
+        from repro.utils.sync import holds, make_lock
+
+
+        class Metrics:
+            _GUARDED_BY = {"total": "_lock"}
+
+            def __init__(self) -> None:
+                self._lock = make_lock("Metrics._lock")
+                self.total = 0
+        %s
+        """
+
+    def test_unlocked_read_is_flagged(self):
+        violations = check(self.GUARDED % """
+            def peek(self) -> int:
+                return self.total
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO009"]
+        assert "read of Metrics.total" in violations[0].message
+
+    def test_unlocked_write_is_flagged(self):
+        violations = check(self.GUARDED % """
+            def reset(self) -> None:
+                self.total = 0
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO009"]
+        assert "write to Metrics.total" in violations[0].message
+
+    def test_locked_access_is_clean(self):
+        assert rule_ids(self.GUARDED % """
+            def bump(self) -> None:
+                with self._lock:
+                    self.total += 1
+        """) == []
+
+    def test_holds_decorator_vouches_for_the_caller_lock(self):
+        assert rule_ids(self.GUARDED % """
+            @holds("_lock")
+            def bump_locked(self) -> None:
+                self.total += 1
+
+            def bump(self) -> None:
+                with self._lock:
+                    self.bump_locked()
+        """) == []
+
+    def test_calling_a_holds_method_without_the_lock_is_flagged(self):
+        violations = check(self.GUARDED % """
+            @holds("_lock")
+            def bump_locked(self) -> None:
+                self.total += 1
+
+            def bump(self) -> None:
+                self.bump_locked()
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO009"]
+        assert "@holds" in violations[0].message
+
+    def test_fresh_object_is_exempt_until_shared(self):
+        assert rule_ids(self.GUARDED % """
+            @classmethod
+            def merged(cls, value: int) -> "Metrics":
+                out = Metrics()
+                out.total = value
+                return out
+        """) == []
+
+
+class TestConditionWaitRule:
+    WAITER = """
+        import threading
+
+        from repro.utils.sync import make_lock
+
+
+        class Waiter:
+            def __init__(self) -> None:
+                self._lock = make_lock("Waiter._lock")
+                self._cond = threading.Condition(self._lock)
+                self.ready = False
+        %s
+        """
+
+    def test_wait_under_if_is_flagged(self):
+        violations = check(self.WAITER % """
+            def block(self) -> None:
+                with self._lock:
+                    if not self.ready:
+                        self._cond.wait()
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO010"]
+        assert "while" in violations[0].message
+
+    def test_wait_in_while_is_clean(self):
+        assert rule_ids(self.WAITER % """
+            def block(self) -> None:
+                with self._lock:
+                    while not self.ready:
+                        self._cond.wait()
+        """) == []
+
+
+class TestEnvReadRule:
+    def test_environ_read_outside_options_is_flagged(self):
+        source = """
+            import os
+
+            TOKEN = os.environ["REPRO_TOKEN"]
+            MODE = os.environ.get("REPRO_MODE")
+            HOME = os.getenv("REPRO_HOME")
+            """
+        # Repo-wide: fires from any package, not just the service zone.
+        for path in (SERVICE_PATH, "src/repro/perf/snippet.py"):
+            assert rule_ids(source, path=path) == ["REPRO011"] * 3
+
+    def test_options_module_is_the_sanctioned_home(self):
+        assert rule_ids("""
+            import os
+
+            MODE = os.environ.get("REPRO_MODE")
+            """, path="src/repro/exec/options.py") == []
+
+
+class TestBlockingUnderLockRule:
+    RUNNER = """
+        import time
+
+        from repro.utils.sync import make_lock
+
+
+        class Runner:
+            def __init__(self, engine: "ExecutionEngine") -> None:
+                self._lock = make_lock("Runner._lock")
+                self.engine = engine
+        %s
+        """
+
+    def test_sleep_under_lock_is_flagged(self):
+        violations = check(self.RUNNER % """
+            def tick(self) -> None:
+                with self._lock:
+                    time.sleep(0.1)
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO012"]
+        assert "time.sleep" in violations[0].message
+
+    def test_engine_run_under_lock_is_flagged(self):
+        violations = check(self.RUNNER % """
+            def flush(self, batch) -> None:
+                with self._lock:
+                    self.engine.run(batch)
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO012"]
+        assert "engine" in violations[0].message.lower()
+
+    def test_blocking_through_a_helper_is_still_flagged(self):
+        violations = check(self.RUNNER % """
+            def nap(self) -> None:
+                time.sleep(0.1)
+
+            def tick(self) -> None:
+                with self._lock:
+                    self.nap()
+        """)
+        assert [v.rule_id for v in violations] == ["REPRO012"]
+        assert "Runner.nap" in violations[0].message
+
+    def test_str_join_is_not_thread_join(self):
+        # ``join`` blocks only on threads; the type gate must keep
+        # ``", ".join(...)`` under a lock out of the findings.
+        assert rule_ids(self.RUNNER % """
+            def describe(self, parts) -> str:
+                with self._lock:
+                    return ", ".join(parts)
+        """) == []
+
+    def test_condition_wait_releases_its_own_lock(self):
+        assert rule_ids("""
+            import threading
+
+            from repro.utils.sync import make_lock
+
+
+            class Waiter:
+                def __init__(self) -> None:
+                    self._lock = make_lock("Waiter._lock")
+                    self._cond = threading.Condition(self._lock)
+                    self.ready = False
+
+                def block(self) -> None:
+                    with self._lock:
+                        while not self.ready:
+                            self._cond.wait()
+            """) == []
+
+    def test_noqa_escape_hatch(self):
+        assert rule_ids(self.RUNNER % """
+            def tick(self) -> None:
+                with self._lock:
+                    time.sleep(0.1)  # repro: noqa[REPRO012]
+        """) == []
+
+
+class TestCatalogue:
+    def test_catalogue_lists_every_rule(self):
+        text = conc_rule_catalogue()
+        for rule in CONC_RULES:
+            assert rule.rule_id in text
+        assert [rule.rule_id for rule in CONC_RULES] == [
+            f"REPRO0{i:02d}" for i in range(8, 13)]

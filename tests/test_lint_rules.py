@@ -241,6 +241,42 @@ class TestEngine:
         src = "import random  # repro: noqa[REPRO001]\n"
         assert ids(lint_source(src, path=ZONE)) == ["REPRO002"]
 
+    def test_noqa_anchors_to_the_whole_statement(self):
+        # The violation reports on the opening line; the suppression
+        # sits on a continuation line of the same statement.
+        src = ("import time\n"
+               "def f():\n"
+               "    return time.perf_counter(  # a continuation comment\n"
+               "    )  # repro: noqa[REPRO001]\n")
+        assert lint_source(src, path=ZONE) == []
+
+    def test_noqa_on_the_opening_line_covers_continuations(self):
+        src = ("import time\n"
+               "def f():\n"
+               "    values = [  # repro: noqa[REPRO001]\n"
+               "        time.time(),\n"
+               "        time.time(),\n"
+               "    ]\n"
+               "    return values\n")
+        assert lint_source(src, path=ZONE) == []
+
+    def test_compound_header_noqa_does_not_blanket_the_block(self):
+        # A suppression on an ``if`` header covers the header only —
+        # violations inside the body still surface.
+        src = ("import time\n"
+               "def f(flag):\n"
+               "    if flag:  # repro: noqa[REPRO001]\n"
+               "        return time.time()\n"
+               "    return 0\n")
+        assert ids(lint_source(src, path=ZONE)) == ["REPRO001"]
+
+    def test_noqa_inside_a_string_literal_is_inert(self):
+        src = ("import time\n"
+               "def f():\n"
+               '    note = "use # repro: noqa[REPRO001] to suppress"\n'
+               "    return (time.time(), note)\n")
+        assert ids(lint_source(src, path=ZONE)) == ["REPRO001"]
+
     def test_violations_sorted_and_formatted(self):
         src = "import random\nimport time\ndef f():\n    return time.time()\n"
         violations = lint_source(src, path=ZONE)
