@@ -37,6 +37,11 @@ def sweep_pointer_intensity(budget: int):
     ]
     grid = sweep(workloads, schemes=("conventional", "dmdc"),
                  instructions=budget)
+    print(f"swept {grid.stats['unique']} design points "
+          f"({grid.stats['executed']} simulated, "
+          f"hit rate {grid.stats['hit_rate']:.0%})\n")
+    print(grid.table())
+    print()
     return grid["conventional"], grid["dmdc"]
 
 

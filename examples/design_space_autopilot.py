@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The design-space autopilot end to end (see docs/sweeps.md).
+
+Declares a grid over scheme x checking-table size x YLA register count,
+runs it to completion through the shared engine with a resumable JSONL
+ledger, and pivots the ledger into the paper-figure-style report —
+speedup and energy verdicts vs the injected conventional baseline.
+
+Run it twice: the second invocation serves every point from the ledger
+(hit rate 100%) and re-renders the identical report without simulating
+anything.  Kill it midway and re-run: same story for the finished
+points.  The CLI equivalent is::
+
+    repro sweep --preset demo64 --ledger demo64.jsonl --json-out demo64.json
+"""
+
+import sys
+
+from repro.sweeps import GridSpec, run_sweep
+
+GRID = GridSpec(
+    name="autopilot-demo",
+    axes={
+        "scheme": ["dmdc", "dmdc-local"],
+        "table": [512, 2048],
+        "regs": [1, 4],
+        "workload": ["gzip", "mcf"],
+    },
+    base={"config": "config2", "instructions": 4000, "seed": 1},
+    baseline="conventional",
+)
+
+
+def main() -> None:
+    ledger = sys.argv[1] if len(sys.argv) > 1 else "autopilot-demo.jsonl"
+
+    def progress(done, total, point, source):
+        print(f"  [{done:>2}/{total}] {source:7s} "
+              f"{point['scheme']} / {point['workload']}", file=sys.stderr)
+
+    outcome = run_sweep(GRID, ledger=ledger, progress=progress)
+    print(outcome.accounting.format_block())
+    print()
+    print(outcome.report().render())
+    print(f"\nledger: {outcome.ledger_path} — re-run me to see the "
+          f"resume path serve every point for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,8 @@ representative workloads and prints the fraction of LQ searches filtered,
 plus a comparison against counting Bloom filters of equal "budget".
 
 The whole grid goes through :func:`repro.api.sweep`, so every design
-point is planned as one deduplicated, cached engine batch.
+point is planned as one deduplicated, cached engine batch; the returned
+:class:`~repro.api.SweepResult` carries the batch's cache accounting.
 """
 
 import sys
@@ -27,12 +28,15 @@ def main() -> None:
     grid = sweep(WORKLOADS, schemes=[scheme for _, scheme in yla_points],
                  instructions=budget)
     rows = [
-        [title, *(f"{grid[scheme][name].safe_store_fraction:.1%}"
+        [title, *(f"{grid[scheme, name].safe_store_fraction:.1%}"
                   for name in WORKLOADS)]
         for title, scheme in yla_points
     ]
     print(format_table(["YLA configuration", *WORKLOADS], rows,
                        title="LQ searches filtered by YLA registers"))
+    print(f"  ({grid.stats['unique']} design points, "
+          f"{grid.stats['executed']} simulated, "
+          f"cache hit rate {grid.stats['hit_rate']:.0%})")
 
     print()
     bloom_labels = [f"bloom-entries{entries}" for entries in (64, 256, 1024)]

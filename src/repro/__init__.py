@@ -55,6 +55,7 @@ __version__ = "1.0.0"
 # only, never from this module).
 from repro import api
 from repro.api import check, compare, run, sweep
+from repro.sweeps import GridSpec, SweepResult
 
 __all__ = [
     "api",
@@ -62,6 +63,8 @@ __all__ = [
     "sweep",
     "compare",
     "check",
+    "GridSpec",
+    "SweepResult",
     "CheckingTable",
     "CountingBloomFilter",
     "DmdcScheme",

@@ -1,26 +1,41 @@
 """The stable public facade of the DMDC reproduction.
 
 ``repro.api`` is the supported surface for scripts, notebooks, and the
-``examples/`` directory: four verbs plus the vocabulary types they speak.
-Everything here runs through the shared execution engine, so repeated
-design points are deduplicated and served from the content-addressed
-result cache exactly like experiment sweeps and service traffic.
+``examples/`` directory: five verbs plus the vocabulary types they
+speak.  Everything here runs through the shared execution engine, so
+repeated design points are deduplicated and served from the
+content-addressed result cache exactly like experiment sweeps and
+service traffic.
 
     from repro import api
 
     result = api.run("gzip", scheme="dmdc-local", instructions=10_000)
     grid = api.sweep(["gzip", "mcf"], schemes=["conventional", "dmdc"])
+    print(grid.table())          # scheme x workload IPC pivot
+    print(grid.stats)            # cache/dedup accounting
     report = api.compare("mcf", scheme="dmdc")
     print(report.table())
 
-Deep imports (``repro.sim.runner``, ``repro.exec.engine``, ...) are
-internal: they keep working, but their layout may change between
-releases — see ``docs/simulator.md``.
+``sweep`` also takes a declarative :class:`~repro.sweeps.GridSpec`
+directly — the same object the ``repro sweep`` autopilot and the HTTP
+service execute (one point codec across all three; see
+``docs/sweeps.md``)::
+
+    from repro.sweeps import GridSpec
+
+    grid = api.sweep(GridSpec(
+        axes={"scheme": ["dmdc"], "table": [512, 2048], "workload": ["gzip"]},
+        base={"instructions": 8_000}))
+
+Advanced internals (hand-built traces, direct pipeline access, engine
+plumbing) live in :mod:`repro.api.advanced`; the old top-level aliases
+still resolve but raise :class:`DeprecationWarning`.
 
 Verbs:
 
 * :func:`run` — one design point -> :class:`SimulationResult`;
-* :func:`sweep` — a (scheme x workload) grid in one deduplicated batch;
+* :func:`sweep` — a design-space grid in one deduplicated batch ->
+  :class:`SweepResult`;
 * :func:`compare` — candidate vs baseline with the paper's energy verdict;
 * :func:`check` — the correctness tooling (lint + sanitizer) as data;
 * :func:`profile` — one design point with full observability attached
@@ -29,8 +44,9 @@ Verbs:
   result (see ``docs/observability.md``).
 """
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis import (
     SCHEME_MATRIX,
@@ -40,10 +56,8 @@ from repro.analysis import (
 )
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.errors import ConfigError, ReproError, SimulationError
-from repro.exec import EngineOptions, ExecutionEngine, RunRequest, get_engine, use_engine
-from repro.isa.instruction import MicroOp
-from repro.isa.opcodes import InstrClass
-from repro.isa.trace import Trace
+from repro.exec import RunRequest as _RunRequest
+from repro.exec import get_engine as _get_engine
 from repro.sim.config import (
     CONFIG1,
     CONFIG2,
@@ -52,42 +66,54 @@ from repro.sim.config import (
     MachineConfig,
     SchemeConfig,
     scheme_matrix,
-    small_config,
 )
-from repro.sim.processor import Processor
 from repro.sim.result import SimulationResult
-from repro.sim.runner import instruction_budget
+from repro.sim.runner import instruction_budget as _instruction_budget
 from repro.stats.report import format_table
+from repro.sweeps.grid import GridExpansion, GridSpec
+from repro.sweeps.points import NAMED_CONFIGS
+from repro.sweeps.result import SweepResult
 from repro.workloads import SUITE, SyntheticWorkload, WorkloadSpec, get_workload
 
 __all__ = [
     # the verbs
     "run", "sweep", "compare", "check", "profile",
-    # comparison report
-    "CompareReport",
+    # structured results
+    "CompareReport", "SweepResult", "GridSpec",
     # vocabulary types and helpers (stable re-exports)
     "CONFIG1", "CONFIG2", "CONFIG3", "NAMED_CONFIGS",
     "MachineConfig", "SchemeConfig", "SCHEME_LABELS", "scheme_matrix",
-    "SCHEME_MATRIX", "SimulationResult", "RunRequest",
-    "EngineOptions", "ExecutionEngine", "get_engine", "use_engine",
+    "SCHEME_MATRIX", "SimulationResult",
     "EnergyModel", "EnergyBreakdown",
     "SUITE", "SyntheticWorkload", "WorkloadSpec", "get_workload",
     "format_table", "per_workload_table", "speedup_summary", "compare_results",
     "ConfigError", "ReproError", "SimulationError",
-    # advanced: hand-built traces and direct pipeline access
-    "MicroOp", "InstrClass", "Trace", "Processor", "small_config",
-    "simulate_trace",
+    # the documented sharp-edged surface
+    "advanced",
 ]
 
-NAMED_CONFIGS: Dict[str, MachineConfig] = {
-    "config1": CONFIG1,
-    "config2": CONFIG2,
-    "config3": CONFIG3,
-}
+#: Names that used to live here and now live in :mod:`repro.api.advanced`.
+#: Resolved lazily with a deprecation warning so old imports keep working.
+_MOVED_TO_ADVANCED = (
+    "EngineOptions", "ExecutionEngine", "InstrClass", "MicroOp",
+    "Processor", "RunRequest", "Trace", "get_engine", "simulate_trace",
+    "small_config", "use_engine",
+)
 
 SchemeLike = Union[str, SchemeConfig]
 ConfigLike = Union[str, MachineConfig]
 WorkloadLike = Union[str, WorkloadSpec, SyntheticWorkload]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_ADVANCED:
+        warnings.warn(
+            f"repro.api.{name} has moved to repro.api.advanced."
+            f"{name}; the repro.api alias will be removed",
+            DeprecationWarning, stacklevel=2)
+        from repro.api import advanced as _advanced
+        return getattr(_advanced, name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
 
 
 # -- coercion ------------------------------------------------------------
@@ -132,7 +158,7 @@ def _scheme_label(scheme: SchemeLike) -> str:
     return scheme if isinstance(scheme, str) else scheme.label()
 
 
-# -- the four verbs ------------------------------------------------------
+# -- the verbs -----------------------------------------------------------
 def run(workload: WorkloadLike,
         scheme: SchemeLike = "conventional",
         config: ConfigLike = "config2",
@@ -148,40 +174,68 @@ def run(workload: WorkloadLike,
     machine (``"config1"``..``"config3"``) or a :class:`MachineConfig`.
     ``overrides`` patches machine fields (e.g. ``{"lq_size": 48}``).
     """
-    budget = instructions if instructions is not None else instruction_budget()
-    request = RunRequest(_as_machine(config, scheme, overrides),
-                         _as_workload(workload), budget, seed)
-    return get_engine().run([request])[0]
+    budget = instructions if instructions is not None else _instruction_budget()
+    request = _RunRequest(_as_machine(config, scheme, overrides),
+                          _as_workload(workload), budget, seed)
+    return _get_engine().run([request])[0]
 
 
-def sweep(workloads: Iterable[WorkloadLike],
+def sweep(workloads: Union[GridSpec, GridExpansion, Iterable[WorkloadLike]],
           schemes: Sequence[SchemeLike] = ("conventional", "dmdc"),
           config: ConfigLike = "config2",
           *,
           instructions: Optional[int] = None,
           seed: int = 1,
-          overrides: Optional[Dict] = None) -> Dict[str, Dict[str, SimulationResult]]:
-    """A (scheme x workload) grid, planned as **one** engine batch.
+          overrides: Optional[Dict] = None,
+          baseline: Optional[str] = None) -> SweepResult:
+    """A design-space grid, planned as **one** engine batch.
 
-    Returns ``results[scheme_label][workload_name]``.  Duplicated design
-    points cost one simulation; previously-run points come from cache.
+    Takes either a declarative :class:`~repro.sweeps.GridSpec` (the same
+    object ``repro sweep`` and the service execute) or the historical
+    kwargs form ``sweep(workloads, schemes=..., ...)`` — the kwargs are a
+    thin shim over :meth:`GridSpec.from_kwargs`, so both vocabularies
+    normalize through one point codec and produce identical design
+    points.
+
+    Returns a :class:`SweepResult`: ``result[label][workload]`` as
+    before, plus ``result[label, workload]``, ``result.table()``, and
+    ``result.stats`` (cache/dedup accounting for this batch).
     """
-    budget = instructions if instructions is not None else instruction_budget()
-    workloads = list(workloads)
-    requests: List[RunRequest] = []
-    slots: List[tuple] = []
-    for scheme in schemes:
-        machine = _as_machine(config, scheme, overrides)
-        label = _scheme_label(scheme)
-        for workload in workloads:
-            requests.append(RunRequest(machine, _as_workload(workload),
-                                       budget, seed))
-            slots.append((label, _workload_name(workload)))
-    results = get_engine().run(requests)
+    if isinstance(workloads, GridExpansion):
+        expansion = workloads
+    else:
+        if isinstance(workloads, GridSpec):
+            spec = workloads
+        else:
+            spec = GridSpec.from_kwargs(
+                list(workloads), schemes, config,
+                instructions=instructions, seed=seed, overrides=overrides,
+                baseline=baseline)
+        expansion = spec.expand()
+
+    engine = _get_engine()
+    stats = engine.stats
+    before = (stats.memo_hits, stats.disk_hits, stats.executed)
+    results = engine.run(expansion.requests)
+    after = (stats.memo_hits, stats.disk_hits, stats.executed)
+
     grid: Dict[str, Dict[str, SimulationResult]] = {}
-    for (label, name), result in zip(slots, results):
-        grid.setdefault(label, {})[name] = result
-    return grid
+    for point, result in zip(expansion.points, results):
+        workload = point["workload"]
+        name = workload if isinstance(workload, str) else workload["name"]
+        grid.setdefault(point["scheme"], {})[name] = result
+    unique = len(expansion)
+    executed = after[2] - before[2]
+    return SweepResult(grid, list(expansion.points), {
+        "requested": expansion.raw_points,
+        "excluded": expansion.excluded,
+        "collapsed": expansion.collapsed,
+        "unique": unique,
+        "memo_hits": after[0] - before[0],
+        "disk_hits": after[1] - before[1],
+        "executed": executed,
+        "hit_rate": (unique - executed) / unique if unique else 1.0,
+    })
 
 
 @dataclass
@@ -321,7 +375,7 @@ def profile(workload: WorkloadLike,
     """
     from repro.obs.profile import profile_workload
     machine = _as_machine(config, scheme, overrides)
-    budget = instructions if instructions is not None else instruction_budget()
+    budget = instructions if instructions is not None else _instruction_budget()
     spec = _as_workload(workload)
     source = get_workload(spec) if isinstance(spec, str) else SyntheticWorkload(spec)
     return profile_workload(machine, source, instructions=budget, seed=seed,
@@ -329,20 +383,4 @@ def profile(workload: WorkloadLike,
                             timeline_capacity=timeline_capacity)
 
 
-# -- advanced ------------------------------------------------------------
-def simulate_trace(trace: Trace,
-                   scheme: SchemeLike = "conventional",
-                   config: Optional[MachineConfig] = None,
-                   *,
-                   instructions: Optional[int] = None,
-                   seed: int = 1) -> SimulationResult:
-    """Run a hand-built :class:`Trace` directly on the pipeline.
-
-    Trace-level runs bypass the engine/cache (a hand-built trace has no
-    canonical content address) — for the cached path, define a
-    :class:`WorkloadSpec` and use :func:`run`.
-    """
-    machine = (config if config is not None else small_config(
-        wrongpath_loads=False)).with_scheme(_as_scheme(scheme))
-    processor = Processor(machine, trace, seed=seed)
-    return processor.run(instructions if instructions is not None else len(trace))
+from repro.api import advanced  # noqa: E402  (documented submodule surface)

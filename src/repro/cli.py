@@ -40,6 +40,12 @@ Commands:
     batched, deduplicating, backpressured access to the execution engine
     for streams of small design-point queries; ``--shards N`` runs N
     engine shards routed by content-address hash.
+``sweep``
+    The design-space autopilot (see ``docs/sweeps.md``): run a declarative
+    grid (``--preset`` or ``--axis NAME=V1,V2,...``) through the local
+    engine or a running service (``--service``), streaming results to a
+    resumable JSONL ledger, then print the cache-hit accounting block and
+    the paper-figure-style report.
 """
 
 import argparse
@@ -502,6 +508,130 @@ def cmd_serve(args) -> int:
     return serve(config, verbose=args.verbose)
 
 
+def _parse_axis_value(token: str):
+    """CLI axis token -> int, float, or string (in that order)."""
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _sweep_spec(args):
+    """Build the GridSpec named by the CLI flags."""
+    from repro.sweeps import GridError, GridSpec, get_preset
+
+    if args.preset and args.axis:
+        raise GridError("give --preset or --axis grids, not both")
+    if args.preset:
+        spec = get_preset(args.preset)
+        if args.baseline:
+            spec.baseline = args.baseline
+        return spec
+    axes = {}
+    for item in args.axis or []:
+        if "=" not in item:
+            raise GridError(
+                f"bad --axis {item!r}; expected NAME=V1,V2,...")
+        name, _, values = item.partition("=")
+        axes[name.strip()] = [_parse_axis_value(v)
+                              for v in values.split(",") if v.strip()]
+    if args.scheme:
+        axes.setdefault("scheme", list(args.scheme))
+    if args.workload:
+        axes.setdefault("workload", list(args.workload))
+    if not axes:
+        raise GridError(
+            "nothing to sweep: give --preset NAME (see --list-presets) "
+            "or --axis/--scheme/--workload")
+    base = {"config": args.config, "seed": args.seed}
+    if args.instructions is not None:
+        base["instructions"] = args.instructions
+    return GridSpec(axes=axes, base=base, baseline=args.baseline,
+                    name=args.name)
+
+
+def cmd_sweep(args) -> int:
+    from repro.errors import ReproError
+    from repro.sweeps import PRESETS, run_sweep, validate_report_payload
+
+    if args.list_presets:
+        rows = []
+        for name, factory in sorted(PRESETS.items()):
+            spec = factory()
+            expansion = spec.expand()
+            axes = ", ".join(f"{axis}[{len(values)}]"
+                             for axis, values in spec.axes.items())
+            rows.append([name, len(expansion), axes,
+                         spec.baseline or "-"])
+        print(format_table(["preset", "points", "axes", "baseline"], rows,
+                           title="Sweep presets"))
+        return 0
+
+    client = None
+    engine = None
+    try:
+        spec = _sweep_spec(args)
+        if args.service:
+            from repro.service import ServiceClient
+            host, _, port = args.service.rpartition(":")
+            client = ServiceClient(host=host or "127.0.0.1", port=int(port),
+                                   timeout=args.timeout)
+        else:
+            from repro.exec import get_engine
+            engine = get_engine(_engine_options(args))
+
+        def progress(done, total, point, source):
+            if args.quiet:
+                return
+            width = len(str(total))
+            workload = point["workload"]
+            name = workload if isinstance(workload, str) else workload["name"]
+            print(f"  [{done:>{width}}/{total}] {source:7s} "
+                  f"{point['scheme']} / {name}", file=sys.stderr)
+
+        outcome = run_sweep(spec, engine=engine, client=client,
+                            ledger=args.ledger, chunk=args.chunk,
+                            progress=progress, limit=args.limit)
+    except ReproError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+
+    print(outcome.accounting.format_block())
+    if not outcome.complete:
+        print(f"sweep incomplete: {len(outcome.entries)}/"
+              f"{len(outcome.points)} points done"
+              + (f"; re-run with --ledger {outcome.ledger_path} to resume"
+                 if outcome.ledger_path else ""))
+
+    report = None
+    if outcome.complete and not args.no_report:
+        report = outcome.report()
+        print()
+        print(report.render())
+
+    if args.json_out:
+        payload = {
+            "schema": 1,
+            "complete": outcome.complete,
+            "accounting": outcome.accounting.as_dict(),
+            "report": report.to_dict() if report is not None else None,
+        }
+        if report is not None:
+            problems = validate_report_payload(payload["report"])
+            if problems:
+                for problem in problems:
+                    print(f"repro sweep: report schema: {problem}",
+                          file=sys.stderr)
+                return 1
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def cmd_timeline(args) -> int:
     config = _configured(args)
     trace = get_workload(args.workload).generate(args.instructions + 2000)
@@ -674,6 +804,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="log every request to stderr")
 
+    p = sub.add_parser(
+        "sweep", help="design-space autopilot: declarative grid -> report")
+    p.add_argument("--preset", default=None, metavar="NAME",
+                   help="run a named preset grid (see --list-presets)")
+    p.add_argument("--list-presets", action="store_true",
+                   help="list preset grids and exit")
+    p.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                   help="add a grid axis (repeatable): point fields "
+                        "(workload, scheme, config, instructions, seed), "
+                        "scheme knobs (table, regs, gran, queue, entries), "
+                        "or any MachineConfig field (width, lq_size, ...)")
+    p.add_argument("--scheme", action="append", metavar="LABEL",
+                   help="shorthand for --axis scheme=... (repeatable)")
+    p.add_argument("--workload", action="append", metavar="NAME",
+                   help="shorthand for --axis workload=... (repeatable)")
+    p.add_argument("--config", default="config2", choices=sorted(CONFIGS))
+    p.add_argument("--instructions", "-n", type=int, default=None,
+                   help="committed-instruction budget per point "
+                        "(default: the codec's 12000)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--baseline", default=None, metavar="LABEL",
+                   help="inject LABEL once per machine slice and report "
+                        "speedups/energy against it")
+    p.add_argument("--name", default="grid",
+                   help="grid name for the ledger header and report")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="stream results to FILE (JSONL); re-running with "
+                        "the same grid resumes, skipping completed points")
+    p.add_argument("--service", default=None, metavar="[HOST:]PORT",
+                   help="execute through a running `repro serve` instance "
+                        "instead of the local engine")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="with --service: per-chunk HTTP timeout")
+    p.add_argument("--chunk", type=int, default=64, metavar="N",
+                   help="points per engine batch / service request")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="simulate at most N missing points this invocation "
+                        "(the ledger makes the rest resumable)")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="write the machine-readable report artifact "
+                        "(schema-validated) to FILE")
+    p.add_argument("--no-report", action="store_true",
+                   help="skip the paper-figure-style report")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the disk result cache for this invocation")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="simulation worker processes")
+
     p = sub.add_parser("bench", help="measure simulator throughput")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: fewer workloads/schemes, small budget")
@@ -721,6 +901,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "check": cmd_check,
     "serve": cmd_serve,
+    "sweep": cmd_sweep,
 }
 
 

@@ -25,11 +25,11 @@ CACHE_SCHEMA_VERSION = 1
 #: Top-level entries of the ``repro`` package that cannot influence a
 #: simulation result, and therefore stay out of the source fingerprint —
 #: editing the CLI, an experiment's rendering, a lint rule under
-#: ``analysis/``, the bench harness, or the HTTP service must not
-#: invalidate every cached run.
+#: ``analysis/``, the bench harness, the HTTP service, the ``repro.api``
+#: facade, or the sweep autopilot must not invalidate every cached run.
 _NON_SIMULATION_PARTS = frozenset({
-    "experiments", "exec", "analysis", "perf", "service", "api.py",
-    "cli.py", "__main__.py", "reporting.py",
+    "experiments", "exec", "analysis", "perf", "service", "api",
+    "sweeps", "cli.py", "__main__.py", "reporting.py",
 })
 
 

@@ -1,114 +1,59 @@
 """Wire schema: JSON payloads -> canonical :class:`RunRequest`s.
 
-Every request entering the service is normalized here into the same
-content-address space the execution engine and disk cache already use,
-which is what makes in-flight dedup across independent HTTP clients
-sound: two clients asking for the same design point produce the same
-``cache_key()`` and share one simulation.
+Since the sweep autopilot landed, the actual point grammar lives in
+:mod:`repro.sweeps.points` — ONE normalization path shared by
+``repro.api.sweep``, the autopilot's ledgers, and this service, so a
+design point has the same ``cache_key()`` no matter which surface named
+it.  That is what makes in-flight dedup across independent HTTP clients
+sound: two clients asking for the same design point share one
+simulation.
 
-A run payload::
+This module keeps the service-facing surface: the :class:`SchemaError`
+-> HTTP 400 contract (codec errors are re-raised as ``SchemaError`` with
+their message intact), and the ``trace`` flag, which is an HTTP-``/run``
+concern, not part of a design point's identity.
 
-    {
-      "workload": "gzip" | {...WorkloadSpec fields...},
-      "scheme":   "dmdc-local" | {...SchemeConfig fields...},   # default "conventional"
-      "config":   "config2",                                    # config1|config2|config3
-      "overrides": {"lq_size": 48, ...},                        # machine-field overrides
-      "instructions": 12000,                                    # aka "budget"
-      "seed": 1,
-      "trace": true                                             # /run only: attach observability
-    }
-
-``trace`` is stripped by :func:`parse_trace_flag` before the rest of the
-payload is normalized; it is only honoured on ``POST /run`` (a traced
-point always simulates, so sweeps — whose value is dedup — reject it).
-
-Scheme strings go through the canonical label codec
-(:meth:`SchemeConfig.from_label`), so the service speaks exactly the
-labels the CLI, bench harness, and correctness matrix speak.
+See :mod:`repro.sweeps.points` for the payload grammar.
 """
 
-from dataclasses import fields as dataclass_fields
-from typing import Dict, Optional
+from functools import wraps
+from typing import Callable, TypeVar, Union
 
-from repro.errors import ConfigError, ServiceError
+from repro.errors import ServiceError
 from repro.exec.request import RunRequest
-from repro.sim.config import CONFIG1, CONFIG2, CONFIG3, MachineConfig, SchemeConfig
-from repro.sim.result import SimulationResult
-from repro.workloads import SUITE, WorkloadSpec
+from repro.sim.config import SchemeConfig
+from repro.sweeps import points as _points
+from repro.sweeps.points import (  # noqa: F401  (re-exported service surface)
+    DEFAULT_INSTRUCTIONS,
+    MAX_INSTRUCTIONS,
+    NAMED_CONFIGS,
+    PointSpecError,
+    describe_result,
+)
+from repro.workloads import WorkloadSpec
 
-NAMED_CONFIGS: Dict[str, MachineConfig] = {
-    "config1": CONFIG1,
-    "config2": CONFIG2,
-    "config3": CONFIG3,
-}
-
-#: Budget ceiling per design point — a service must bound the work one
-#: request can demand (clients needing more split into several points).
-MAX_INSTRUCTIONS = 1_000_000
-DEFAULT_INSTRUCTIONS = 12_000
+_T = TypeVar("_T")
 
 
 class SchemaError(ServiceError):
     """The request payload is malformed; maps to HTTP 400."""
 
 
-def _require_mapping(payload: object, what: str) -> Dict:
-    if not isinstance(payload, dict):
-        raise SchemaError(f"{what} must be a JSON object, got {type(payload).__name__}")
-    return payload
-
-
-def _dataclass_kwargs(payload: Dict, cls: type, what: str) -> Dict:
-    allowed = {f.name for f in dataclass_fields(cls)}
-    unknown = [key for key in payload if key not in allowed]
-    if unknown:
-        raise SchemaError(
-            f"unknown {what} field(s): {', '.join(sorted(unknown))}")
-    return payload
-
-
-def parse_scheme(payload: object) -> SchemeConfig:
-    """A scheme label or an explicit field object -> :class:`SchemeConfig`."""
-    if payload is None:
-        return SchemeConfig()
-    if isinstance(payload, str):
+def _wire(func: Callable[..., _T]) -> Callable[..., _T]:
+    """Translate codec errors into the service's 400 contract."""
+    @wraps(func)
+    def wrapper(*args: object, **kwargs: object) -> _T:
         try:
-            return SchemeConfig.from_label(payload)
-        except ConfigError as exc:
+            return func(*args, **kwargs)
+        except PointSpecError as exc:
             raise SchemaError(str(exc)) from None
-    kwargs = _dataclass_kwargs(_require_mapping(payload, "scheme"),
-                               SchemeConfig, "scheme")
-    try:
-        return SchemeConfig(**kwargs)
-    except (ConfigError, TypeError) as exc:
-        raise SchemaError(f"bad scheme: {exc}") from None
+    return wrapper
 
 
-def parse_workload(payload: object):
-    """A suite name or an explicit spec object -> RunRequest workload."""
-    if isinstance(payload, str):
-        if payload not in SUITE:
-            raise SchemaError(
-                f"unknown workload {payload!r}; choices: {sorted(SUITE)}")
-        return payload
-    kwargs = _dataclass_kwargs(_require_mapping(payload, "workload"),
-                               WorkloadSpec, "workload")
-    if "name" not in kwargs:
-        raise SchemaError("an explicit workload spec needs a 'name'")
-    try:
-        return WorkloadSpec(**kwargs)
-    except (TypeError, ValueError) as exc:
-        raise SchemaError(f"bad workload spec: {exc}") from None
-
-
-def _parse_int(payload: Dict, key: str, default: int,
-               lo: int, hi: int) -> int:
-    value = payload.get(key, default)
-    if not isinstance(value, int) or isinstance(value, bool):
-        raise SchemaError(f"{key} must be an integer")
-    if not lo <= value <= hi:
-        raise SchemaError(f"{key} must be in [{lo}, {hi}], got {value}")
-    return value
+parse_scheme: Callable[[object], SchemeConfig] = _wire(_points.parse_scheme)
+parse_workload: Callable[[object], Union[str, WorkloadSpec]] = (
+    _wire(_points.parse_workload))
+parse_run_payload: Callable[..., RunRequest] = _wire(_points.normalize_point)
 
 
 def parse_trace_flag(payload: object) -> bool:
@@ -118,64 +63,10 @@ def parse_trace_flag(payload: object) -> bool:
     :func:`parse_run_payload`, which deliberately does not know ``trace``:
     a sweep point carrying it fails as an unknown field.
     """
-    body = _require_mapping(payload, "run payload")
-    flag = body.pop("trace", False)
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"run payload must be a JSON object, got {type(payload).__name__}")
+    flag = payload.pop("trace", False)
     if not isinstance(flag, bool):
         raise SchemaError("'trace' must be a boolean")
     return flag
-
-
-def parse_run_payload(payload: object,
-                      defaults: Optional[Dict] = None) -> RunRequest:
-    """One run payload (plus optional sweep-level defaults) -> request."""
-    body = dict(defaults or {})
-    body.update(_require_mapping(payload, "run payload"))
-    known = {"workload", "scheme", "config", "overrides",
-             "instructions", "budget", "seed"}
-    unknown = [key for key in body if key not in known]
-    if unknown:
-        raise SchemaError(f"unknown field(s): {', '.join(sorted(unknown))}")
-    if "workload" not in body:
-        raise SchemaError("missing required field 'workload'")
-
-    config_name = body.get("config", "config2")
-    if config_name not in NAMED_CONFIGS:
-        raise SchemaError(
-            f"unknown config {config_name!r}; choices: {sorted(NAMED_CONFIGS)}")
-    config = NAMED_CONFIGS[config_name].with_scheme(parse_scheme(body.get("scheme")))
-    if "overrides" in body:
-        overrides = _dataclass_kwargs(
-            _require_mapping(body["overrides"], "overrides"),
-            MachineConfig, "machine override")
-        if "scheme" in overrides or "name" in overrides:
-            raise SchemaError(
-                "overrides cannot replace 'scheme' or 'name'; use the "
-                "top-level fields")
-        try:
-            config = config.with_overrides(**overrides)
-        except (ConfigError, TypeError) as exc:
-            raise SchemaError(f"bad overrides: {exc}") from None
-
-    if "instructions" in body and "budget" in body:
-        raise SchemaError("give either 'instructions' or 'budget', not both")
-    budget = _parse_int(body, "budget" if "budget" in body else "instructions",
-                        DEFAULT_INSTRUCTIONS, 1, MAX_INSTRUCTIONS)
-    seed = _parse_int(body, "seed", 1, 0, 2**31 - 1)
-    return RunRequest(config, parse_workload(body["workload"]), budget, seed)
-
-
-def describe_result(request: RunRequest, result: SimulationResult,
-                    counters: bool = False) -> Dict[str, object]:
-    """JSON-ready response body for one completed design point."""
-    payload: Dict[str, object] = {
-        "key": request.cache_key(),
-        "workload": result.workload,
-        "config": result.config_name,
-        "scheme": request.config.scheme.label(),
-        "budget": request.budget,
-        "seed": request.seed,
-        "summary": result.summary(),
-    }
-    if counters:
-        payload["counters"] = result.counters.as_dict()
-    return payload

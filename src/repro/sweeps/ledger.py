@@ -1,0 +1,144 @@
+"""The resumable sweep ledger: one JSONL line per completed design point.
+
+A ledger file is::
+
+    {"kind":"header","schema":1,"grid":"demo64","digest":"...","points":66}
+    {"kind":"point","key":"...","point":{...},"summary":{...},"counters":{...}}
+    ...
+
+Lines are canonical JSON (sorted keys, no whitespace) and carry only
+architecture-determined values, so a ledger is **byte-identical** no
+matter how its grid ran: local engine or sharded service, one shot or
+interrupted-and-resumed — the driver rewrites entries in grid order.
+
+Resume contract: :meth:`SweepLedger.open` reads whatever a previous run
+left behind, validates the header against the grid's expansion digest
+(which covers the grid shape *and* the simulator source fingerprint, so
+results from an edited simulator or a different grid are never silently
+reused), drops any torn final line from an interrupted write, and
+returns the completed entries keyed by content address.  The
+orchestrator then only simulates the missing points.
+"""
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["LEDGER_SCHEMA", "LedgerError", "SweepLedger", "read_ledger"]
+
+LEDGER_SCHEMA = 1
+
+
+class LedgerError(ReproError):
+    """The ledger on disk cannot serve this sweep (wrong grid/simulator)."""
+
+
+def _encode(entry: Dict[str, Any]) -> str:
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def _scan(path: str) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]], int]:
+    """Header, well-formed point entries, and the byte offset they end at.
+
+    A torn final line (interrupted append) is excluded from the offset,
+    so reopening truncates exactly the damage and nothing else.
+    """
+    header: Optional[Dict[str, Any]] = None
+    entries: List[Dict[str, Any]] = []
+    good = 0
+    with open(path, "rb") as handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                break
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                break
+            if not isinstance(entry, dict) or "kind" not in entry:
+                break
+            if header is None:
+                if entry.get("kind") != "header":
+                    raise LedgerError(
+                        f"{path}: first line is not a ledger header")
+                header = entry
+            elif entry["kind"] == "point":
+                if not isinstance(entry.get("key"), str):
+                    break
+                entries.append(entry)
+            good += len(line)
+    return header, entries, good
+
+
+def read_ledger(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load a completed ledger: ``(header, point entries)``."""
+    header, entries, _ = _scan(path)
+    if header is None:
+        raise LedgerError(f"{path}: empty or headerless ledger")
+    return header, entries
+
+
+class SweepLedger:
+    """Append-only JSONL writer with resume-by-content-address."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def open(self, digest: str, grid: str, points: int) -> Dict[str, Dict[str, Any]]:
+        """Open for appending; return prior completed entries by key.
+
+        A fresh (or empty) file gets a header line.  An existing file
+        must carry a header whose ``digest`` matches this expansion —
+        otherwise the sweep refuses to resume rather than mixing grids
+        or simulator versions.
+        """
+        prior: Dict[str, Dict[str, Any]] = {}
+        if os.path.exists(self.path) and os.path.getsize(self.path):
+            header, entries, good = _scan(self.path)
+            if header is None:
+                raise LedgerError(f"{self.path}: first line is not a ledger header")
+            if header.get("schema") != LEDGER_SCHEMA:
+                raise LedgerError(
+                    f"{self.path}: ledger schema {header.get('schema')!r}, "
+                    f"expected {LEDGER_SCHEMA}")
+            if header.get("digest") != digest:
+                raise LedgerError(
+                    f"{self.path}: ledger was written for grid "
+                    f"{header.get('grid')!r} (digest {header.get('digest')!r}) "
+                    f"— it does not match this expansion; the grid or the "
+                    f"simulator source changed. Delete the ledger or pick "
+                    f"another path.")
+            with open(self.path, "r+", encoding="utf-8") as handle:
+                handle.truncate(good)
+            for entry in entries:
+                prior[entry["key"]] = entry
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write({"kind": "header", "schema": LEDGER_SCHEMA,
+                         "grid": grid, "digest": digest, "points": points})
+        return prior
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise LedgerError("ledger is not open")
+        self._write(entry)
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(_encode(entry) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,319 @@
+"""The sweep orchestrator: a grid in, a completed ledger out.
+
+:func:`run_sweep` drives a :class:`GridSpec` (or a pre-rendered
+:class:`GridExpansion`) to completion through either execution backend:
+
+* **local** — the shared :class:`ExecutionEngine` (dedup, memo, disk
+  cache, process pool), chunked so ``run_many`` batching still applies;
+* **service** — a running (possibly sharded) ``repro serve`` instance
+  via :class:`ServiceClient`, chunked under the service's sweep
+  admission cap.
+
+Completed points stream to a resumable JSONL ledger as they finish;
+re-running a half-finished sweep re-serves finished points from the
+ledger by content address and only simulates the remainder.  Both
+backends emit byte-identical ledgers for the same grid (the wire
+carries exactly the summary/counter values the local path computes),
+which the service tests assert.
+
+The returned :class:`SweepOutcome` carries the entries in grid order
+plus a :class:`SweepAccounting` block — how many points the raw product
+had, what predicates/dedup removed, and how many simulations actually
+ran vs were served from ledger/memo/disk — the proof that repeat sweeps
+are ~free.
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.exec.engine import ExecutionEngine, get_engine
+from repro.exec.request import RunRequest
+from repro.sweeps.grid import GridExpansion, GridSpec
+from repro.sweeps.ledger import SweepLedger
+from repro.sweeps.points import ledger_entry
+
+__all__ = ["ProgressFn", "SweepAccounting", "SweepError", "SweepOutcome",
+           "run_sweep"]
+
+#: Orchestrator progress: ``(done, total, point, source)`` with source one
+#: of ``"ledger"``, ``"memo"``, ``"cache"``, ``"run"``, ``"service"``.
+ProgressFn = Callable[[int, int, Dict[str, Any], str], None]
+
+
+class SweepError(ReproError):
+    """The sweep cannot proceed (backend mismatch, bad arguments)."""
+
+
+@dataclass
+class SweepAccounting:
+    """Where every point of a sweep came from (and what it cost)."""
+
+    mode: str = "local"
+    total_points: int = 0       # points in the expanded grid
+    raw_points: int = 0         # axis-product combinations before pruning
+    excluded: int = 0           # dropped by include/exclude predicates
+    collapsed: int = 0          # content-address duplicates in the grid
+    baseline_points: int = 0    # injected baseline denominators
+    from_ledger: int = 0        # served from a prior run's ledger
+    submitted: int = 0          # sent to the backend this invocation
+    executed: int = 0           # actually simulated (backend-reported)
+    memo_hits: int = 0          # engine memo hits (local mode)
+    disk_hits: int = 0          # disk-cache hits (local mode)
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submitted points served without simulating.
+
+        An all-from-ledger re-run submits nothing and scores 1.0 — the
+        repeat sweep was free.
+        """
+        if not self.submitted:
+            return 1.0
+        return max(0.0, (self.submitted - self.executed) / self.submitted)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "total_points": self.total_points,
+            "raw_points": self.raw_points,
+            "excluded": self.excluded,
+            "collapsed": self.collapsed,
+            "baseline_points": self.baseline_points,
+            "from_ledger": self.from_ledger,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def format_block(self) -> str:
+        lines = [
+            f"points    {self.total_points} "
+            f"({self.raw_points} raw, {self.excluded} excluded, "
+            f"{self.collapsed} collapsed, {self.baseline_points} baseline)",
+            f"backend   {self.mode}",
+            f"served    ledger {self.from_ledger} | submitted {self.submitted}"
+            f" | simulated {self.executed}",
+            f"cache     memo {self.memo_hits}, disk {self.disk_hits}, "
+            f"hit rate {self.hit_rate:.1%}",
+            f"wall      {self.wall_seconds:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything :func:`run_sweep` produced, in grid order."""
+
+    name: str
+    points: List[Dict[str, Any]]
+    keys: List[str]
+    entries: List[Dict[str, Any]]   # completed ledger entries, grid order
+    accounting: SweepAccounting
+    complete: bool = True
+    ledger_path: Optional[str] = None
+    _report: Optional[object] = field(default=None, repr=False)
+
+    def report(self, baseline: Optional[str] = None) -> "Any":
+        """The paper-figure-style report over the completed entries."""
+        from repro.sweeps.report import SweepReport
+        return SweepReport.from_entries(self.entries, name=self.name,
+                                        baseline=baseline)
+
+
+def _chunks(items: List[Any], size: int) -> List[List[Any]]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _service_engine_stats(client: Any) -> Dict[str, float]:
+    """Best-effort aggregate engine stats from a service /metrics scrape."""
+    try:
+        snapshot = client.metrics()
+        engine = snapshot.get("engine", {})
+        return {key: engine.get(key, 0)
+                for key in ("executed", "memo_hits", "disk_hits")}
+    except Exception:
+        return {}
+
+
+def run_sweep(grid: Union[GridSpec, GridExpansion],
+              *,
+              engine: Optional[ExecutionEngine] = None,
+              client: Optional[Any] = None,
+              ledger: Optional[Union[str, SweepLedger]] = None,
+              chunk: int = 64,
+              progress: Optional[ProgressFn] = None,
+              limit: Optional[int] = None) -> SweepOutcome:
+    """Execute a grid to completion (see the module docstring).
+
+    ``engine`` and ``client`` select the backend (both ``None`` = the
+    process-wide engine; both set is an error).  ``ledger`` is a JSONL
+    path (or an opened :class:`SweepLedger`) enabling streaming +
+    resume.  ``limit`` caps how many *missing* points this invocation
+    simulates — the outcome comes back ``complete=False`` and a later
+    call resumes; tests use it to model a killed orchestrator.
+    """
+    if engine is not None and client is not None:
+        raise SweepError("pass engine= or client=, not both")
+    if chunk < 1:
+        raise SweepError("chunk must be >= 1")
+    expansion = grid.expand() if isinstance(grid, GridSpec) else grid
+    accounting = SweepAccounting(
+        mode="service" if client is not None else "local",
+        total_points=len(expansion),
+        raw_points=expansion.raw_points,
+        excluded=expansion.excluded,
+        collapsed=expansion.collapsed,
+        baseline_points=expansion.baseline_added,
+    )
+    start = time.perf_counter()
+
+    ledger_obj: Optional[SweepLedger]
+    ledger_path: Optional[str]
+    owns_ledger = isinstance(ledger, (str,)) or ledger is None
+    if isinstance(ledger, SweepLedger):
+        ledger_obj, ledger_path = ledger, ledger.path
+    elif ledger is not None:
+        ledger_obj, ledger_path = SweepLedger(ledger), ledger
+    else:
+        ledger_obj = ledger_path = None
+
+    entries_by_key: Dict[str, Dict[str, Any]] = {}
+    try:
+        if ledger_obj is not None:
+            prior = ledger_obj.open(expansion.digest(), expansion.name,
+                                    len(expansion))
+            wanted = set(expansion.keys)
+            entries_by_key.update(
+                {key: entry for key, entry in prior.items() if key in wanted})
+        accounting.from_ledger = len(entries_by_key)
+
+        total = len(expansion)
+        done = 0
+        pending: List[Tuple[int, RunRequest, str]] = []
+        for index, (request, key) in enumerate(
+                zip(expansion.requests, expansion.keys)):
+            if key in entries_by_key:
+                done += 1
+                if progress is not None:
+                    progress(done, total, expansion.points[index], "ledger")
+            else:
+                pending.append((index, request, key))
+
+        if limit is not None:
+            pending = pending[:max(0, limit)]
+        accounting.submitted = len(pending)
+
+        if client is not None:
+            done = _run_service(client, expansion, pending, entries_by_key,
+                                ledger_obj, accounting, chunk, progress,
+                                done, total)
+        else:
+            done = _run_local(engine, expansion, pending, entries_by_key,
+                              ledger_obj, accounting, chunk, progress,
+                              done, total)
+    finally:
+        if ledger_obj is not None and owns_ledger:
+            ledger_obj.close()
+
+    accounting.wall_seconds = time.perf_counter() - start
+    entries = [entries_by_key[key] for key in expansion.keys
+               if key in entries_by_key]
+    return SweepOutcome(
+        name=expansion.name,
+        points=list(expansion.points),
+        keys=list(expansion.keys),
+        entries=entries,
+        accounting=accounting,
+        complete=len(entries) == len(expansion),
+        ledger_path=ledger_path,
+    )
+
+
+def _run_local(engine: Optional[ExecutionEngine],
+               expansion: GridExpansion,
+               pending: List[Tuple[int, RunRequest, str]],
+               entries_by_key: Dict[str, Dict[str, Any]],
+               ledger_obj: Optional[SweepLedger],
+               accounting: SweepAccounting,
+               chunk: int,
+               progress: Optional[ProgressFn],
+               done: int, total: int) -> int:
+    engine = engine if engine is not None else get_engine()
+    base = (engine.stats.executed, engine.stats.memo_hits,
+            engine.stats.disk_hits)
+    for batch in _chunks(pending, chunk):
+        sources: Dict[str, str] = {}
+        prev = engine.progress
+
+        def trap(done_: int, total_: int, request: RunRequest,
+                 source: str) -> None:
+            sources[request.cache_key()] = source
+            if prev is not None:
+                prev(done_, total_, request, source)
+
+        engine.progress = trap
+        try:
+            results = engine.run([request for _, request, _ in batch])
+        finally:
+            engine.progress = prev
+        for (index, request, key), result in zip(batch, results):
+            entry = ledger_entry(request, result.summary(),
+                                 result.counters.as_dict(), key=key)
+            entries_by_key[key] = entry
+            if ledger_obj is not None:
+                ledger_obj.append(entry)
+            done += 1
+            if progress is not None:
+                progress(done, total, expansion.points[index],
+                         sources.get(key, "memo"))
+    accounting.executed = engine.stats.executed - base[0]
+    accounting.memo_hits = engine.stats.memo_hits - base[1]
+    accounting.disk_hits = engine.stats.disk_hits - base[2]
+    return done
+
+
+def _run_service(client: Any,
+                 expansion: GridExpansion,
+                 pending: List[Tuple[int, RunRequest, str]],
+                 entries_by_key: Dict[str, Dict[str, Any]],
+                 ledger_obj: Optional[SweepLedger],
+                 accounting: SweepAccounting,
+                 chunk: int,
+                 progress: Optional[ProgressFn],
+                 done: int, total: int) -> int:
+    before = _service_engine_stats(client)
+    for batch in _chunks(pending, chunk):
+        body = client.sweep([expansion.points[index] for index, _, _ in batch],
+                            counters=True)
+        described = body.get("points", [])
+        if len(described) != len(batch):
+            raise SweepError(
+                f"service returned {len(described)} results for a "
+                f"{len(batch)}-point chunk")
+        for (index, request, key), desc in zip(batch, described):
+            if desc.get("key") != key:
+                raise SweepError(
+                    f"service disagrees on the content address of point "
+                    f"{expansion.points[index]!r} (ours {key[:12]}..., "
+                    f"theirs {str(desc.get('key'))[:12]}...) — the client "
+                    f"and server are running different simulator sources")
+            entry = ledger_entry(request, dict(desc["summary"]),
+                                 dict(desc["counters"]), key=key)
+            entries_by_key[key] = entry
+            if ledger_obj is not None:
+                ledger_obj.append(entry)
+            done += 1
+            if progress is not None:
+                progress(done, total, expansion.points[index], "service")
+    after = _service_engine_stats(client)
+    if before and after:
+        accounting.executed = int(after["executed"] - before["executed"])
+        accounting.memo_hits = int(after["memo_hits"] - before["memo_hits"])
+        accounting.disk_hits = int(after["disk_hits"] - before["disk_hits"])
+    return done

@@ -71,8 +71,38 @@ class TestSweep:
             grid = api.sweep(["gzip", "gzip"], schemes=("conventional",),
                              instructions=BUDGET)
         assert engine.stats.executed == 1
-        assert engine.stats.requested == 2
+        # Duplicate points now collapse at grid expansion, before they
+        # ever reach the engine; the accounting lives on the result.
+        assert grid.stats["requested"] == 2
+        assert grid.stats["collapsed"] == 1
+        assert grid.stats["unique"] == 1
+        assert grid.stats["executed"] == 1
         assert list(grid["conventional"]) == ["gzip"]
+
+    def test_sweep_result_surface(self):
+        engine = ExecutionEngine(max_workers=1)
+        with use_engine(engine):
+            grid = api.sweep(["gzip"], schemes=("conventional", "dmdc"),
+                             instructions=BUDGET)
+        assert isinstance(grid, api.SweepResult)
+        assert grid.schemes == ["conventional", "dmdc"]
+        assert grid.workloads == ["gzip"]
+        # Tuple indexing reaches a single result directly.
+        assert grid["dmdc", "gzip"] is grid["dmdc"]["gzip"]
+        table = grid.table()
+        assert "conventional" in table and "gzip" in table
+        assert len(list(grid.results())) == 2
+
+    def test_sweep_accepts_grid_spec(self):
+        spec = api.GridSpec(
+            axes={"scheme": ["conventional", "dmdc"], "workload": ["gzip"]},
+            base={"instructions": BUDGET},
+        )
+        engine = ExecutionEngine(max_workers=1)
+        with use_engine(engine):
+            grid = api.sweep(spec)
+        assert sorted(grid) == ["conventional", "dmdc"]
+        assert engine.stats.executed == 2
 
 
 class TestCompare:
@@ -122,12 +152,24 @@ class TestFacadeSurface:
         assert repro.check is api.check
         assert repro.api is api
 
-    def test_simulate_trace(self):
-        trace = api.Trace("api-demo")
+    def test_simulate_trace_via_advanced(self):
+        adv = api.advanced
+        trace = adv.Trace("api-demo")
         pc = 0x100
         for i in range(32):
-            trace.append(api.MicroOp(pc, api.InstrClass.IALU,
+            trace.append(adv.MicroOp(pc, adv.InstrClass.IALU,
                                      srcs=(28,), dst=1 + i % 4))
             pc += 4
-        result = api.simulate_trace(trace, scheme="dmdc")
+        result = adv.simulate_trace(trace, scheme="dmdc")
         assert result.committed == 32
+
+    def test_moved_names_warn_but_resolve(self):
+        from repro.api import advanced
+        with pytest.warns(DeprecationWarning, match="repro.api.advanced"):
+            assert api.RunRequest is advanced.RunRequest
+        with pytest.warns(DeprecationWarning):
+            assert api.simulate_trace is advanced.simulate_trace
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.no_such_name

@@ -36,10 +36,12 @@ class TestExclusions:
         # The concrete regression: analysis/ (lint + sanitizer), perf/
         # (bench harness), and service/ (HTTP daemon) are tooling around
         # the simulator, not part of it.
-        for part in ("analysis", "perf", "service", "exec", "experiments"):
+        for part in ("analysis", "perf", "service", "exec", "experiments",
+                     "api", "sweeps"):
             assert part in _NON_SIMULATION_PARTS
-        # The pre-PR-3 module name must not linger: it matches nothing.
+        # Pre-refactor module names must not linger: they match nothing.
         assert "analysis.py" not in _NON_SIMULATION_PARTS
+        assert "api.py" not in _NON_SIMULATION_PARTS
 
     def test_editing_a_lint_rule_keeps_the_fingerprint(self, src_copy):
         before = fingerprint_tree(src_copy)
@@ -50,7 +52,9 @@ class TestExclusions:
             self, src_copy):
         before = fingerprint_tree(src_copy)
         for rel in ("analysis/sanitizer.py", "perf/bench.py",
-                    "service/server.py", "cli.py", "api.py"):
+                    "service/server.py", "cli.py", "api/__init__.py",
+                    "api/advanced.py", "sweeps/grid.py",
+                    "sweeps/orchestrator.py"):
             _touch(src_copy, rel)
         assert fingerprint_tree(src_copy) == before
 

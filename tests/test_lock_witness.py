@@ -24,9 +24,15 @@ from repro.utils.sync import (holds, install_lock_factory, make_lock,
 from tests.test_service_shards import StallEngine, make_request
 
 
-def make_witnessed_pool(count: int, max_queue: int = 8) -> ShardPool:
+def make_witnessed_pool(count: int, max_queue: int = 64) -> ShardPool:
     """A stub-engine pool whose batchers carry their shard index (the
-    hand-built equivalent of ``ShardPool.build``)."""
+    hand-built equivalent of ``ShardPool.build``).
+
+    ``max_queue`` is generous because content-address routing depends on
+    the simulator fingerprint: any source edit reshuffles which shard
+    each seed lands on, and these tests are about lock order, not
+    admission capacity.
+    """
     shards = []
     for index in range(count):
         engine = StallEngine()

@@ -1,0 +1,220 @@
+"""GridSpec expansion semantics (PR: design-space autopilot).
+
+The contract under test: expansion is **deterministic** (declaration
+order, last axis fastest), **canonical** (every point renders through
+the one codec, so grid identity is content-address identity), and
+**accounted** (raw product = kept + excluded + collapsed, with baselines
+injected once per machine slice at the tail).
+"""
+
+import pytest
+
+from repro.sim.config import CONFIG2, SchemeConfig
+from repro.sweeps import (
+    PRESETS,
+    GridError,
+    GridSpec,
+    get_preset,
+    normalize_point,
+    point_for_request,
+)
+
+BUDGET = 600
+
+
+class TestValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(GridError, match="unknown axis"):
+            GridSpec(axes={"speed": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(GridError, match="non-empty"):
+            GridSpec(axes={"workload": []})
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(GridError, match="at least one axis"):
+            GridSpec(axes={})
+
+    def test_unknown_base_field_rejected(self):
+        with pytest.raises(GridError, match="unknown base field"):
+            GridSpec(axes={"workload": ["gzip"]}, base={"speed": 9})
+
+    def test_bad_baseline_label_fails_fast(self):
+        with pytest.raises(Exception):
+            GridSpec(axes={"workload": ["gzip"]}, baseline="magic")
+
+    def test_missing_workload_caught_at_expand(self):
+        spec = GridSpec(axes={"scheme": ["dmdc"]},
+                        base={"instructions": BUDGET})
+        with pytest.raises(GridError, match="workload"):
+            spec.expand()
+
+    def test_bad_scheme_knob_value_rejected(self):
+        spec = GridSpec(axes={"workload": ["gzip"], "table": [0]},
+                        base={"scheme": "dmdc", "instructions": BUDGET})
+        with pytest.raises(GridError, match="positive int"):
+            spec.expand()
+
+
+class TestExpansion:
+    def test_declaration_order_last_axis_fastest(self):
+        spec = GridSpec(
+            axes={"scheme": ["conventional", "dmdc"],
+                  "workload": ["gzip", "mcf"]},
+            base={"instructions": BUDGET})
+        expansion = spec.expand()
+        coords = [(p["scheme"], p["workload"]) for p in expansion.points]
+        assert coords == [("conventional", "gzip"), ("conventional", "mcf"),
+                          ("dmdc", "gzip"), ("dmdc", "mcf")]
+        assert expansion.raw_points == 4
+        assert expansion.excluded == expansion.collapsed == 0
+
+    def test_scheme_knob_axes_land_in_the_label(self):
+        spec = GridSpec(
+            axes={"table": [512, 1024], "regs": [2]},
+            base={"scheme": "dmdc", "workload": "gzip",
+                  "instructions": BUDGET})
+        labels = [p["scheme"] for p in spec.expand().points]
+        assert labels == ["dmdc-table512-regs2", "dmdc-table1024-regs2"]
+
+    def test_machine_field_axes_become_overrides(self):
+        spec = GridSpec(
+            axes={"width": [4, 8, 16]},
+            base={"workload": "gzip", "instructions": BUDGET})
+        expansion = spec.expand()
+        # width=8 IS config2's default, so the canonical (minimal) point
+        # drops the no-op override.
+        assert [p.get("overrides") for p in expansion.points] == [
+            {"width": 4}, None, {"width": 16}]
+        assert [r.config.width for r in expansion.requests] == [4, 8, 16]
+
+    def test_duplicate_points_collapse_by_content_address(self):
+        spec = GridSpec(
+            axes={"workload": ["gzip", "gzip"]},
+            base={"instructions": BUDGET})
+        expansion = spec.expand()
+        assert len(expansion) == 1
+        assert expansion.raw_points == 2
+        assert expansion.collapsed == 1
+
+    def test_include_and_exclude_predicates_prune(self):
+        spec = GridSpec(
+            axes={"workload": ["gzip", "mcf"], "width": [4, 8]},
+            base={"instructions": BUDGET},
+            include=lambda ctx: ctx["workload"] == "gzip",
+            exclude=lambda ctx: ctx["width"] == 8)
+        expansion = spec.expand()
+        assert len(expansion) == 1
+        assert expansion.excluded == 3
+        point = expansion.points[0]
+        assert point["workload"] == "gzip"
+        assert point["overrides"] == {"width": 4}
+
+    def test_baseline_injected_once_per_machine_slice(self):
+        spec = GridSpec(
+            axes={"scheme": ["dmdc", "yla"], "workload": ["gzip", "mcf"]},
+            base={"instructions": BUDGET},
+            baseline="conventional")
+        expansion = spec.expand()
+        # 4 candidate points + one conventional point per workload slice.
+        assert len(expansion) == 6
+        assert expansion.baseline_added == 2
+        tail = [p["scheme"] for p in expansion.points[-2:]]
+        assert tail == ["conventional", "conventional"]
+
+    def test_baseline_already_in_grid_is_not_duplicated(self):
+        spec = GridSpec(
+            axes={"scheme": ["conventional", "dmdc"], "workload": ["gzip"]},
+            base={"instructions": BUDGET},
+            baseline="conventional")
+        expansion = spec.expand()
+        assert len(expansion) == 2
+        assert expansion.baseline_added == 0
+
+    def test_every_point_round_trips_through_the_codec(self):
+        expansion = get_preset("ci-smoke").expand()
+        for point, request, key in zip(expansion.points, expansion.requests,
+                                       expansion.keys):
+            assert request.cache_key() == key
+            assert normalize_point(point).cache_key() == key
+            assert point_for_request(request) == point
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert get_preset("ci-smoke").digest() == \
+            get_preset("ci-smoke").digest()
+
+    def test_digest_covers_grid_shape(self):
+        small = GridSpec(axes={"workload": ["gzip"]},
+                         base={"instructions": BUDGET})
+        large = GridSpec(axes={"workload": ["gzip", "mcf"]},
+                         base={"instructions": BUDGET})
+        assert small.digest() != large.digest()
+
+    def test_digest_covers_the_budget(self):
+        a = GridSpec(axes={"workload": ["gzip"]},
+                     base={"instructions": BUDGET})
+        b = GridSpec(axes={"workload": ["gzip"]},
+                     base={"instructions": BUDGET + 1})
+        assert a.digest() != b.digest()
+
+
+class TestFromKwargs:
+    def test_matches_the_legacy_vocabulary(self):
+        spec = GridSpec.from_kwargs(
+            ["gzip", "mcf"], schemes=("conventional", "dmdc"),
+            instructions=BUDGET, seed=3)
+        expansion = spec.expand()
+        # Scheme-major, exactly the order legacy callers submitted.
+        coords = [(p["scheme"], p["workload"]) for p in expansion.points]
+        assert coords == [("conventional", "gzip"), ("conventional", "mcf"),
+                          ("dmdc", "gzip"), ("dmdc", "mcf")]
+        assert all(p["seed"] == 3 for p in expansion.points)
+
+    def test_scheme_objects_and_default_budget(self):
+        scheme = SchemeConfig(kind="dmdc", table_entries=512)
+        spec = GridSpec.from_kwargs(["gzip"], schemes=(scheme,))
+        expansion = spec.expand()
+        assert expansion.points[0]["scheme"] == "dmdc-table512"
+        assert expansion.points[0]["instructions"] > 0  # env default applied
+
+    def test_machine_config_decomposes_to_named_plus_overrides(self):
+        machine = CONFIG2.with_overrides(lq_size=48)
+        spec = GridSpec.from_kwargs(["gzip"], schemes=("conventional",),
+                                    config=machine, instructions=BUDGET)
+        point = spec.expand().points[0]
+        assert point["config"] == "config2"
+        assert point["overrides"] == {"lq_size": 48}
+
+    def test_explicit_overrides_win_over_derived_ones(self):
+        machine = CONFIG2.with_overrides(lq_size=48)
+        spec = GridSpec.from_kwargs(["gzip"], schemes=("conventional",),
+                                    config=machine, instructions=BUDGET,
+                                    overrides={"lq_size": 16})
+        assert spec.expand().points[0]["overrides"] == {"lq_size": 16}
+
+
+class TestPresets:
+    def test_every_preset_expands(self):
+        for name in PRESETS:
+            expansion = get_preset(name).expand()
+            assert len(expansion) > 0, name
+            assert expansion.name == name
+
+    def test_demo64_is_the_committed_64_point_grid(self):
+        expansion = get_preset("demo64").expand()
+        assert expansion.raw_points >= 64
+        assert len(expansion) >= 64
+        assert expansion.baseline_added > 0  # denominators for the report
+
+    def test_width_scaling_exercises_exclusion(self):
+        expansion = get_preset("width-scaling").expand()
+        assert expansion.excluded > 0
+        for point in expansion.points:
+            if point["config"] == "config1":
+                assert point.get("overrides", {}).get("width") != 16
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(GridError, match="choices"):
+            get_preset("nope")

@@ -1,0 +1,110 @@
+"""Sweep-ledger durability semantics (PR: design-space autopilot).
+
+The resume contract: an interrupted ledger is re-opened, its torn final
+line (if any) is truncated away, completed entries come back keyed by
+content address — and a ledger written for a different grid (or a
+different simulator source, since the digest covers the expansion's
+cache keys) is refused loudly instead of silently reused.
+"""
+
+import json
+
+import pytest
+
+from repro.sweeps import LedgerError, SweepLedger, read_ledger
+from repro.sweeps.ledger import LEDGER_SCHEMA
+
+DIGEST = "d" * 64
+
+
+def entry(key: str) -> dict:
+    return {"kind": "point", "key": key, "point": {"workload": "gzip"},
+            "summary": {"cycles": 10}, "counters": {"commits": 1}}
+
+
+class TestFreshLedger:
+    def test_open_writes_the_header(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepLedger(path) as ledger:
+            prior = ledger.open(DIGEST, "demo", 3)
+            assert prior == {}
+            ledger.append(entry("k1"))
+        header, entries = read_ledger(path)
+        assert header == {"kind": "header", "schema": LEDGER_SCHEMA,
+                          "grid": "demo", "digest": DIGEST, "points": 3}
+        assert [e["key"] for e in entries] == ["k1"]
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepLedger(path) as ledger:
+            ledger.open(DIGEST, "demo", 1)
+            ledger.append(entry("k1"))
+        for line in open(path):
+            assert line == json.dumps(json.loads(line), sort_keys=True,
+                                      separators=(",", ":")) + "\n"
+
+    def test_append_requires_open(self, tmp_path):
+        ledger = SweepLedger(str(tmp_path / "sweep.jsonl"))
+        with pytest.raises(LedgerError, match="not open"):
+            ledger.append(entry("k1"))
+
+
+class TestResume:
+    def test_reopen_returns_prior_entries_by_key(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepLedger(path) as ledger:
+            ledger.open(DIGEST, "demo", 3)
+            ledger.append(entry("k1"))
+            ledger.append(entry("k2"))
+        with SweepLedger(path) as ledger:
+            prior = ledger.open(DIGEST, "demo", 3)
+            assert sorted(prior) == ["k1", "k2"]
+            ledger.append(entry("k3"))
+        _, entries = read_ledger(path)
+        assert [e["key"] for e in entries] == ["k1", "k2", "k3"]
+
+    def test_torn_tail_is_truncated_exactly(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepLedger(path) as ledger:
+            ledger.open(DIGEST, "demo", 2)
+            ledger.append(entry("k1"))
+        with open(path, "a") as handle:
+            handle.write('{"kind":"point","key":"k2","summ')  # killed mid-write
+        with SweepLedger(path) as ledger:
+            prior = ledger.open(DIGEST, "demo", 2)
+            assert sorted(prior) == ["k1"]
+            ledger.append(entry("k2"))
+        header, entries = read_ledger(path)
+        assert [e["key"] for e in entries] == ["k1", "k2"]
+        assert header["points"] == 2
+
+    def test_digest_mismatch_is_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with SweepLedger(path) as ledger:
+            ledger.open(DIGEST, "demo", 1)
+        with pytest.raises(LedgerError, match="does not match"):
+            SweepLedger(path).open("e" * 64, "demo", 1)
+
+    def test_schema_mismatch_is_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "header", "schema": 99,
+                                     "grid": "demo", "digest": DIGEST,
+                                     "points": 1}) + "\n")
+        with pytest.raises(LedgerError, match="schema"):
+            SweepLedger(path).open(DIGEST, "demo", 1)
+
+    def test_headerless_file_is_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(entry("k1")) + "\n")
+        with pytest.raises(LedgerError, match="header"):
+            SweepLedger(path).open(DIGEST, "demo", 1)
+        with pytest.raises(LedgerError, match="header"):
+            read_ledger(path)
+
+    def test_read_ledger_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text("")
+        with pytest.raises(LedgerError, match="empty"):
+            read_ledger(str(path))
