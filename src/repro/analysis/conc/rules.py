@@ -25,8 +25,10 @@ REPRO012    no blocking operation — engine run, file I/O, ``join``,
             holding a lock, directly or through any callee
 ==========  ==========================================================
 
-REPRO008/009/010/012 analyze ``repro/service/`` and ``repro/exec/``
-(the only packages that share locks); REPRO011 is repo-wide.
+REPRO008/009/010/012 analyze ``repro/service/``, ``repro/exec/`` and
+``repro/sweeps/`` (the packages that share locks — sweeps joined when
+the fan-out pool of ``repro.sweeps.fanout`` arrived); REPRO011 is
+repo-wide.
 """
 
 import ast
@@ -39,7 +41,7 @@ from repro.analysis.lint.engine import LintViolation, SourceFile
 from repro.analysis.lint.rules import Rule
 
 #: Files whose lock usage the whole-project model covers.
-_SCOPE_RE = re.compile(r"repro/(?:service|exec)/[^/]+\.py$")
+_SCOPE_RE = re.compile(r"repro/(?:service|exec|sweeps)/[^/]+\.py$")
 
 #: The single sanctioned environment-read site (REPRO011).
 _ENV_HOME = "repro/exec/options.py"

@@ -571,13 +571,42 @@ def cmd_sweep(args) -> int:
 
     client = None
     engine = None
+    workers = None
     try:
         spec = _sweep_spec(args)
-        if args.service:
-            from repro.service import ServiceClient
+        if args.workers:
+            if args.service:
+                print("repro sweep: pass --workers or --service, not both",
+                      file=sys.stderr)
+                return 2
+            spec_text = args.workers.strip()
+            # A plain integer is a local pool size; anything with a
+            # comma or colon is a service endpoint list (a single bare
+            # port must be written HOST:PORT or PORT, — to fan out to
+            # one service, prefer --service PORT anyway).
+            if spec_text.isdigit():
+                workers = int(spec_text)
+                from repro.exec import get_engine
+                engine = get_engine(_engine_options(args))
+            else:
+                from repro.service import RetryPolicy, ServiceClient
+                policy = RetryPolicy(max_total_wait=args.max_retry_wait)
+                workers = []
+                for endpoint in spec_text.split(","):
+                    endpoint = endpoint.strip()
+                    if not endpoint:
+                        continue
+                    host, _, port = endpoint.rpartition(":")
+                    workers.append(ServiceClient(
+                        host=host or "127.0.0.1", port=int(port),
+                        timeout=args.timeout, retry=policy))
+        elif args.service:
+            from repro.service import RetryPolicy, ServiceClient
             host, _, port = args.service.rpartition(":")
-            client = ServiceClient(host=host or "127.0.0.1", port=int(port),
-                                   timeout=args.timeout)
+            client = ServiceClient(
+                host=host or "127.0.0.1", port=int(port),
+                timeout=args.timeout,
+                retry=RetryPolicy(max_total_wait=args.max_retry_wait))
         else:
             from repro.exec import get_engine
             engine = get_engine(_engine_options(args))
@@ -593,7 +622,8 @@ def cmd_sweep(args) -> int:
 
         outcome = run_sweep(spec, engine=engine, client=client,
                             ledger=args.ledger, chunk=args.chunk,
-                            progress=progress, limit=args.limit)
+                            progress=progress, limit=args.limit,
+                            workers=workers)
     except ReproError as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)
         return 2
@@ -835,8 +865,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--service", default=None, metavar="[HOST:]PORT",
                    help="execute through a running `repro serve` instance "
                         "instead of the local engine")
+    p.add_argument("--workers", default=None, metavar="N|HOST:PORT,...",
+                   help="fan the sweep out: an integer runs a local pool "
+                        "of N single-slot engine processes; a comma list "
+                        "of [HOST:]PORT endpoints partitions points "
+                        "across several `repro serve` instances (the "
+                        "ledger stays byte-identical to a 1-worker run)")
     p.add_argument("--timeout", type=float, default=120.0, metavar="S",
-                   help="with --service: per-chunk HTTP timeout")
+                   help="with --service/--workers: per-request HTTP timeout")
+    p.add_argument("--max-retry-wait", type=float, default=120.0,
+                   metavar="S",
+                   help="total backpressure budget: cumulative seconds a "
+                        "saturated service (429 + Retry-After) may keep "
+                        "one point waiting before the sweep gives up")
     p.add_argument("--chunk", type=int, default=64, metavar="N",
                    help="points per engine batch / service request")
     p.add_argument("--limit", type=int, default=None, metavar="N",

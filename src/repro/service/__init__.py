@@ -22,7 +22,12 @@ Layers:
 """
 
 from repro.service.batcher import Draining, MicroBatcher, ResultTimeout, Saturated, Ticket
-from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceHTTPError,
+    error_kind,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.schema import SchemaError, describe_result, parse_run_payload
 from repro.service.server import (
@@ -38,6 +43,7 @@ __all__ = [
     "MicroBatcher",
     "ReproService",
     "ResultTimeout",
+    "RetryPolicy",
     "Saturated",
     "SchemaError",
     "ServiceClient",
@@ -49,6 +55,7 @@ __all__ = [
     "Ticket",
     "create_server",
     "describe_result",
+    "error_kind",
     "parse_run_payload",
     "serve",
     "shard_for_key",

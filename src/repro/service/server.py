@@ -256,23 +256,28 @@ class RequestHandler(BaseHTTPRequestHandler):
             self.server.request_finished()
 
     def _service_error(self, exc: ServiceError) -> None:
+        # Every error payload carries a machine-readable ``kind`` so
+        # clients can discriminate retryable backpressure (saturated /
+        # draining / timeout) from hard errors without sniffing message
+        # text — ``ServiceClient``'s RetryPolicy keys off it.
         if isinstance(exc, SchemaError):
-            self._reply(400, {"error": str(exc)})
+            self._reply(400, {"error": str(exc), "kind": "schema"})
         elif isinstance(exc, Saturated):
             hint = self.server.shards.retry_after_hint()
-            self._reply(429, {"error": str(exc)},
+            self._reply(429, {"error": str(exc), "kind": "saturated"},
                         headers=(("Retry-After", str(hint)),))
-        elif isinstance(exc, (Draining, ResultTimeout)):
-            if isinstance(exc, ResultTimeout):
-                self.server.metrics.timed_out()
-            self._reply(503, {"error": str(exc)})
+        elif isinstance(exc, Draining):
+            self._reply(503, {"error": str(exc), "kind": "draining"})
+        elif isinstance(exc, ResultTimeout):
+            self.server.metrics.timed_out()
+            self._reply(503, {"error": str(exc), "kind": "timeout"})
         else:
-            self._reply(500, {"error": str(exc)})
+            self._reply(500, {"error": str(exc), "kind": "internal"})
 
     # -- endpoints --------------------------------------------------------
     def _get_healthz(self) -> None:
         if self.server.batcher.draining:
-            self._reply(503, {"status": "draining"})
+            self._reply(503, {"status": "draining", "kind": "draining"})
         else:
             self._reply(200, {"status": "ok"})
 

@@ -25,6 +25,7 @@ from repro.sweeps.grid import (
     GridSpec,
     get_preset,
 )
+from repro.sweeps.fanout import FanoutError, run_fanout
 from repro.sweeps.ledger import LedgerError, SweepLedger, read_ledger
 from repro.sweeps.orchestrator import (
     SweepAccounting,
@@ -45,12 +46,13 @@ from repro.sweeps.report import (
     report_from_ledger,
     validate_report_payload,
 )
-from repro.sweeps.result import SweepResult
+from repro.sweeps.result import SweepResult, WorkerStats
 
 __all__ = [
     "NAMED_CONFIGS",
     "PRESETS",
     "SCHEME_AXES",
+    "FanoutError",
     "GridError",
     "GridExpansion",
     "GridSpec",
@@ -63,12 +65,14 @@ __all__ = [
     "SweepOutcome",
     "SweepReport",
     "SweepResult",
+    "WorkerStats",
     "canonical_point",
     "get_preset",
     "normalize_point",
     "point_for_request",
     "read_ledger",
     "report_from_ledger",
+    "run_fanout",
     "run_sweep",
     "validate_report_payload",
 ]

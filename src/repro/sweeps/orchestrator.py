@@ -25,7 +25,8 @@ are ~free.
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.errors import ReproError
 from repro.exec.engine import ExecutionEngine, get_engine
@@ -61,7 +62,15 @@ class SweepAccounting:
     executed: int = 0           # actually simulated (backend-reported)
     memo_hits: int = 0          # engine memo hits (local mode)
     disk_hits: int = 0          # disk-cache hits (local mode)
+    retried: int = 0            # backpressure retries / quarantine requeues
+    stolen: int = 0             # straggler tasks speculatively duplicated
+    failed: int = 0             # points that exhausted their retries
     wall_seconds: float = 0.0
+    #: Names of permanently failed points ("scheme/workload [key]: why").
+    failed_points: List[str] = field(default_factory=list)
+    #: Per-worker accounting dicts (fan-out mode only); see
+    #: :class:`repro.sweeps.result.WorkerStats`.
+    workers: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -87,6 +96,11 @@ class SweepAccounting:
             "executed": self.executed,
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
+            "retried": self.retried,
+            "stolen": self.stolen,
+            "failed": self.failed,
+            "failed_points": list(self.failed_points),
+            "workers": list(self.workers),
             "hit_rate": self.hit_rate,
             "wall_seconds": self.wall_seconds,
         }
@@ -103,6 +117,16 @@ class SweepAccounting:
             f"hit rate {self.hit_rate:.1%}",
             f"wall      {self.wall_seconds:.2f}s",
         ]
+        if self.workers:
+            shares = ", ".join(
+                f"{w['worker']} {w['completed']}" for w in self.workers)
+            lines.insert(3, f"fanout    {len(self.workers)} workers "
+                            f"({shares}) | retried {self.retried} | "
+                            f"stolen {self.stolen} | failed {self.failed}")
+        elif self.retried:
+            lines.insert(3, f"backoff   retried {self.retried}")
+        for name in self.failed_points:
+            lines.append(f"FAILED    {name}")
         return "\n".join(lines)
 
 
@@ -148,7 +172,11 @@ def run_sweep(grid: Union[GridSpec, GridExpansion],
               ledger: Optional[Union[str, SweepLedger]] = None,
               chunk: int = 64,
               progress: Optional[ProgressFn] = None,
-              limit: Optional[int] = None) -> SweepOutcome:
+              limit: Optional[int] = None,
+              workers: Optional[Union[int, Sequence[Any]]] = None,
+              window: int = 8,
+              engine_factory: Optional[Callable[[], ExecutionEngine]] = None
+              ) -> SweepOutcome:
     """Execute a grid to completion (see the module docstring).
 
     ``engine`` and ``client`` select the backend (both ``None`` = the
@@ -157,11 +185,25 @@ def run_sweep(grid: Union[GridSpec, GridExpansion],
     resume.  ``limit`` caps how many *missing* points this invocation
     simulates — the outcome comes back ``complete=False`` and a later
     call resumes; tests use it to model a killed orchestrator.
+
+    ``workers`` fans the missing points out across a pool
+    (:mod:`repro.sweeps.fanout`): an int N runs a local pool of N
+    single-slot engine processes (``engine`` serves as the options
+    template), a sequence names service backends — ``"host:port"``
+    strings or ready :class:`~repro.service.client.ServiceClient`
+    objects.  ``window`` caps each worker's in-flight claim, and
+    ``engine_factory`` overrides how local pool workers build their
+    engines (tests inject serial engines).  The ledger keeps its
+    grid-order byte-identity contract regardless of worker count.
     """
     if engine is not None and client is not None:
         raise SweepError("pass engine= or client=, not both")
+    if workers is not None and client is not None:
+        raise SweepError("pass workers= or client=, not both")
     if chunk < 1:
         raise SweepError("chunk must be >= 1")
+    if window < 1:
+        raise SweepError("window must be >= 1")
     expansion = grid.expand() if isinstance(grid, GridSpec) else grid
     accounting = SweepAccounting(
         mode="service" if client is not None else "local",
@@ -209,7 +251,13 @@ def run_sweep(grid: Union[GridSpec, GridExpansion],
             pending = pending[:max(0, limit)]
         accounting.submitted = len(pending)
 
-        if client is not None:
+        if workers is not None:
+            from repro.sweeps.fanout import run_fanout
+            done = run_fanout(expansion, pending, entries_by_key,
+                              ledger_obj, accounting, progress, done, total,
+                              workers, window=window, engine_template=engine,
+                              engine_factory=engine_factory)
+        elif client is not None:
             done = _run_service(client, expansion, pending, entries_by_key,
                                 ledger_obj, accounting, chunk, progress,
                                 done, total)
@@ -270,8 +318,12 @@ def _run_local(engine: Optional[ExecutionEngine],
                 ledger_obj.append(entry)
             done += 1
             if progress is not None:
+                # An unreported point gets an honest "unknown", never a
+                # fabricated cache attribution (grid dedup means every
+                # pending key is unique, so the engine should always
+                # have reported it — "unknown" flags the anomaly).
                 progress(done, total, expansion.points[index],
-                         sources.get(key, "memo"))
+                         sources.get(key, "unknown"))
     accounting.executed = engine.stats.executed - base[0]
     accounting.memo_hits = engine.stats.memo_hits - base[1]
     accounting.disk_hits = engine.stats.disk_hits - base[2]
@@ -287,10 +339,53 @@ def _run_service(client: Any,
                  chunk: int,
                  progress: Optional[ProgressFn],
                  done: int, total: int) -> int:
+    """Drive pending points through one service, surviving saturation.
+
+    Two cooperating layers keep a 429 from killing the sweep: the
+    client's own :class:`~repro.service.client.RetryPolicy` (when
+    installed) sleeps out per-request ``Retry-After`` hints, and this
+    loop handles what no per-request retry can fix — a chunk bigger
+    than the admission queue will 429 *forever*, so on a saturated
+    chunk the orchestrator halves it (down to singletons) and only
+    then backs off per the server's hint.  Grid order is preserved:
+    chunks split in place, never reorder.
+    """
+    from repro.service.client import (RetryPolicy, ServiceHTTPError,
+                                      error_kind)
+    policy = getattr(client, "retry", None) or RetryPolicy()
     before = _service_engine_stats(client)
-    for batch in _chunks(pending, chunk):
-        body = client.sweep([expansion.points[index] for index, _, _ in batch],
-                            counters=True)
+    queue: List[List[Tuple[int, RunRequest, str]]] = _chunks(pending, chunk)
+    attempts: Dict[str, int] = {}
+    waited = 0.0
+    while queue:
+        batch = queue.pop(0)
+        try:
+            body = client.sweep(
+                [expansion.points[index] for index, _, _ in batch],
+                counters=True)
+        except ServiceHTTPError as exc:
+            if error_kind(exc.status, exc.payload) not in (
+                    "saturated", "timeout", "draining"):
+                raise
+            accounting.retried += 1
+            if len(batch) > 1:
+                # Retrying the same size would hit the same admission
+                # ceiling; halving converges on what the queue admits.
+                mid = (len(batch) + 1) // 2
+                queue[:0] = [batch[:mid], batch[mid:]]
+                continue
+            key = batch[0][2]
+            attempt = attempts.get(key, 0) + 1
+            attempts[key] = attempt
+            if attempt >= policy.max_attempts:
+                raise
+            wait = policy.backoff(attempt, exc.retry_after)
+            if waited + wait > policy.max_total_wait:
+                raise
+            policy._sleep(wait)
+            waited += wait
+            queue.insert(0, batch)
+            continue
         described = body.get("points", [])
         if len(described) != len(batch):
             raise SweepError(

@@ -11,13 +11,48 @@ String keys are canonicalized through the scheme-label codec, so
 name the same row.
 """
 
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Mapping, Tuple, Union
 
 from repro.sim.config import SchemeConfig
 from repro.sim.result import SimulationResult
 from repro.stats.report import format_table
 
-__all__ = ["SweepResult"]
+__all__ = ["SweepResult", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """One fan-out worker's share of a sweep (see ``repro.sweeps.fanout``).
+
+    ``executed`` is backend-reported: exact for local pool workers (each
+    owns its engine), best-effort for service workers (the service's
+    ``/metrics`` aggregates across all its clients, so service workers
+    report their completion counts instead).
+    """
+
+    worker: str                 # "local:0" / "service:host:port"
+    claimed: int = 0            # tasks this worker pulled from the queue
+    completed: int = 0          # points whose entry this worker produced
+    executed: int = 0           # simulations its backend actually ran
+    memo_hits: int = 0
+    disk_hits: int = 0
+    stolen: int = 0             # straggler tasks speculatively duplicated
+    failures: int = 0           # task attempts that failed on this worker
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "claimed": self.claimed,
+            "completed": self.completed,
+            "executed": self.executed,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "stolen": self.stolen,
+            "failures": self.failures,
+            "wall_seconds": self.wall_seconds,
+        }
 
 Key = Union[str, Tuple[str, str]]
 
